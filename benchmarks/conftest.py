@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Each ``test_figXX_*``/``test_tableX_*`` benchmark regenerates one of the
+paper's tables or figures at the QUICK scale, prints the reproduced rows,
+and asserts the paper's qualitative claims via the experiment's
+``check()``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def paper_scale():
+    """The measurement scale benchmarks run at."""
+    from repro.experiments.common import QUICK
+
+    return QUICK

@@ -1,0 +1,19 @@
+"""Ablations of DESIGN.md's called-out design choices.
+
+Beyond the paper's figures: DDIO way quota, RX burst size, X-Change's
+metadata-buffer count, driver models (TinyNF / X-Change / vectorized
+classic), and PGO stacking.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.parametrize("name", sorted(ablations.ALL))
+def test_ablation(name, benchmark):
+    run_fn, check_fn = ablations.ALL[name]
+    result = benchmark.pedantic(run_fn, rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    check_fn(result)

@@ -1,0 +1,13 @@
+"""Figure 1: p99 latency vs throughput knee (router @2.3 GHz).
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig01
+
+
+def test_fig01(benchmark, paper_scale):
+    result = benchmark.pedantic(fig01.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig01.format_table(result))
+    fig01.check(result)

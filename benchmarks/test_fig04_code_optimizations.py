@@ -1,0 +1,13 @@
+"""Figure 4: per-technique code optimizations, frequency sweep.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig04
+
+
+def test_fig04(benchmark, paper_scale):
+    result = benchmark.pedantic(fig04.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig04.format_table(result))
+    fig04.check(result)

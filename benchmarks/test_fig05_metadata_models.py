@@ -1,0 +1,13 @@
+"""Figure 5: Copying vs Overlaying vs X-Change, 1 and 2 NICs.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig05
+
+
+def test_fig05(benchmark, paper_scale):
+    result = benchmark.pedantic(fig05.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig05.format_table(result))
+    fig05.check(result)

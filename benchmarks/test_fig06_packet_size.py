@@ -1,0 +1,13 @@
+"""Figure 6: packet-size sweep, Vanilla vs PacketMill.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig06
+
+
+def test_fig06(benchmark, paper_scale):
+    result = benchmark.pedantic(fig06.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig06.format_table(result))
+    fig06.check(result)

@@ -1,0 +1,13 @@
+"""Figure 7: synthetic NF improvement surface.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig07
+
+
+def test_fig07(benchmark, paper_scale):
+    result = benchmark.pedantic(fig07.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig07.format_table(result))
+    fig07.check(result)

@@ -1,0 +1,13 @@
+"""Figure 8: IDS+VLAN+router, frequency sweep.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig08
+
+
+def test_fig08(benchmark, paper_scale):
+    result = benchmark.pedantic(fig08.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig08.format_table(result))
+    fig08.check(result)

@@ -1,0 +1,13 @@
+"""Figure 9: memory-footprint slice (N=1, W=4).
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig09
+
+
+def test_fig09(benchmark, paper_scale):
+    result = benchmark.pedantic(fig09.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig09.format_table(result))
+    fig09.check(result)

@@ -1,0 +1,13 @@
+"""Figure 10: NAT multicore scaling.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, paper_scale):
+    result = benchmark.pedantic(fig10.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig10.format_table(result))
+    fig10.check(result)

@@ -1,0 +1,13 @@
+"""Figure 11: framework comparison @1.2 GHz.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, paper_scale):
+    result = benchmark.pedantic(fig11.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(fig11.format_table(result))
+    fig11.check(result)

@@ -1,0 +1,13 @@
+"""Table 1: LLC loads/misses, IPC, Mpps @3 GHz.
+
+Regenerates the table/figure rows and asserts the paper's claims.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, paper_scale):
+    result = benchmark.pedantic(table1.run, args=(paper_scale,), rounds=1, iterations=1)
+    print()
+    print(table1.format_table(result))
+    table1.check(result)

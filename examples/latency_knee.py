@@ -1,0 +1,45 @@
+"""Reproduce the paper's headline curve (Fig. 1): the latency knee.
+
+Measures the router's service rate under vanilla and PacketMill builds,
+then sweeps the offered load open-loop and prints the p99-latency-vs-
+throughput curve, showing the knee shifting right.
+
+Run:  python examples/latency_knee.py
+"""
+
+from repro.core.nfs import router
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.perf.loadlatency import LoadLatencySimulator
+from repro.perf.runner import measure_throughput
+
+params = MachineParams(freq_ghz=2.3)
+
+service_ns = {}
+frame_bits = 981 * 8
+for label, options in [
+    ("Vanilla", BuildOptions.vanilla()),
+    ("PacketMill", BuildOptions.packetmill()),
+]:
+    binary = PacketMill(router(), options, params=params).build()
+    point = measure_throughput(binary, batches=200, warmup_batches=100)
+    service_ns[label] = 1e9 / point.pps
+    frame_bits = point.mean_frame_len * 8
+
+top_pps = max(1e9 / ns for ns in service_ns.values())
+print("Router @2.3 GHz, campus trace, open-loop offered load\n")
+print("%-24s %14s %14s %10s" % ("", "offered Gbps", "achieved Gbps", "p99 us"))
+for label, ns in service_ns.items():
+    sim = LoadLatencySimulator(ns, ring_size=1024)
+    for fraction in (0.3, 0.5, 0.7, 0.8, 0.9, 1.0, 1.05):
+        res = sim.run(top_pps * fraction, n_packets=80_000)
+        marker = "  <-- saturated" if res.saturated else ""
+        print("%-24s %14.1f %14.1f %10.1f%s" % (
+            label if fraction == 0.3 else "",
+            res.offered_pps * frame_bits / 1e9,
+            res.achieved_pps * frame_bits / 1e9,
+            res.p99_us,
+            marker,
+        ))
+    print()

@@ -1,0 +1,27 @@
+"""The modular packet-processing framework (FastClick analogue).
+
+A network function is declared in the Click configuration language
+(:mod:`repro.click.config`), parsed into a processing graph of elements
+(:mod:`repro.click.graph`), and run to completion by the driver
+(:mod:`repro.click.driver`), which executes each element both
+*functionally* (packets really get parsed, rewritten, looked up) and
+*microarchitecturally* (the element's compiled IR program is charged to
+the hardware model).
+"""
+
+from repro.click.config import ConfigError, parse_config
+from repro.click.element import Element, ElementRegistry
+from repro.click.graph import ProcessingGraph
+from repro.click.driver import RouterDriver
+
+# Importing the element library registers every element class.
+from repro.click import elements as _elements  # noqa: F401
+
+__all__ = [
+    "ConfigError",
+    "Element",
+    "ElementRegistry",
+    "ProcessingGraph",
+    "RouterDriver",
+    "parse_config",
+]

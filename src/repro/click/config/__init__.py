@@ -1,0 +1,15 @@
+"""The Click configuration language: lexer, parser, and AST."""
+
+from repro.click.config.ast import ConfigAst, Connection, Declaration
+from repro.click.config.lexer import ConfigError, Token, tokenize
+from repro.click.config.parser import parse_config
+
+__all__ = [
+    "ConfigAst",
+    "ConfigError",
+    "Connection",
+    "Declaration",
+    "Token",
+    "parse_config",
+    "tokenize",
+]

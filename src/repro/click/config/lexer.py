@@ -1,0 +1,98 @@
+"""Tokenizer for the Click configuration language subset we support.
+
+Handles identifiers, ``::`` declarations, ``->`` connections, bracketed
+port numbers, parenthesized (nestable) configuration strings, ``//`` and
+``/* */`` comments, and ``;`` statement separators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class ConfigError(ValueError):
+    """Syntax or semantic error in a Click configuration."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__("line %d: %s" % (line, message) if line else message)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT | DCOLON | ARROW | LBRACKET | RBRACKET | SEMI | CONFIG | NUMBER
+    value: str
+    line: int
+
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_@")
+_IDENT_CONT = _IDENT_START | set("0123456789/")
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch in " \t\r":
+            i += 1
+        elif text.startswith("//", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+        elif text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise ConfigError("unterminated block comment", line)
+            line += text.count("\n", i, end)
+            i = end + 2
+        elif text.startswith("::", i):
+            tokens.append(Token("DCOLON", "::", line))
+            i += 2
+        elif text.startswith("->", i):
+            tokens.append(Token("ARROW", "->", line))
+            i += 2
+        elif ch == ";":
+            tokens.append(Token("SEMI", ";", line))
+            i += 1
+        elif ch == "[":
+            tokens.append(Token("LBRACKET", "[", line))
+            i += 1
+        elif ch == "]":
+            tokens.append(Token("RBRACKET", "]", line))
+            i += 1
+        elif ch == "(":
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if text[j] == "(":
+                    depth += 1
+                elif text[j] == ")":
+                    depth -= 1
+                elif text[j] == "\n":
+                    line += 1
+                j += 1
+            if depth:
+                raise ConfigError("unbalanced parentheses", line)
+            tokens.append(Token("CONFIG", text[i + 1 : j - 1].strip(), line))
+            i = j
+        elif ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], line))
+            i = j
+        elif ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], line))
+            i = j
+        else:
+            raise ConfigError("unexpected character %r" % ch, line)
+    return tokens

@@ -1,0 +1,171 @@
+"""Parser for the Click configuration language subset.
+
+Grammar (statements separated by ``;``):
+
+    statement   := declaration | chain
+    declaration := IDENT "::" IDENT [CONFIG]
+    chain       := endpoint ("->" endpoint)+
+    endpoint    := ["[" NUMBER "]"] element ["[" NUMBER "]"]
+    element     := IDENT [CONFIG]          -- reference or inline declaration
+
+Inline elements in chains (``FromDPDKDevice(0) -> EtherMirror -> ...``) are
+given generated names, exactly like Click's anonymous elements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.click.config.ast import ConfigAst, Connection, Declaration
+from repro.click.config.lexer import ConfigError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.ast = ConfigAst()
+        self._anon_counter = 0
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ConfigError("unexpected end of configuration")
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ConfigError("expected %s, got %r" % (kind, token.value), token.line)
+        return token
+
+    def parse(self) -> ConfigAst:
+        while self._peek() is not None:
+            if self._peek().kind == "SEMI":
+                self._next()
+                continue
+            self._statement()
+        return self.ast
+
+    def _statement(self) -> None:
+        # Declaration: IDENT :: IDENT [CONFIG]
+        if (
+            self._peek().kind == "IDENT"
+            and self._peek(1) is not None
+            and self._peek(1).kind == "DCOLON"
+        ):
+            name_tok = self._next()
+            self._next()  # ::
+            class_tok = self._expect("IDENT")
+            config = ""
+            if self._peek() is not None and self._peek().kind == "CONFIG":
+                config = self._next().value
+            self._declare(name_tok.value, class_tok.value, config, name_tok.line)
+            # A declaration may be the head of a chain: x :: C -> y
+            if self._peek() is not None and self._peek().kind == "ARROW":
+                self._chain_from(name_tok.value, 0, name_tok.line)
+            return
+        self._chain()
+
+    def _declare(self, name: str, class_name: str, config: str, line: int) -> None:
+        if name in self.ast.declarations:
+            raise ConfigError("element %r declared twice" % name, line)
+        self.ast.declarations[name] = Declaration(name, class_name, config, line)
+
+    def _endpoint(self) -> Tuple[str, int, int, int]:
+        """Parse one endpoint; returns (name, in_port, out_port, line)."""
+        in_port = 0
+        token = self._peek()
+        if token is None:
+            raise ConfigError("expected element")
+        line = token.line
+        if token.kind == "LBRACKET":
+            self._next()
+            in_port = int(self._expect("NUMBER").value)
+            self._expect("RBRACKET")
+        name_tok = self._expect("IDENT")
+        name = name_tok.value
+        if self._peek() is not None and self._peek().kind == "DCOLON":
+            # In-chain declaration: "... -> name :: Class(CONFIG) -> ...".
+            self._next()
+            class_tok = self._expect("IDENT")
+            config = ""
+            if self._peek() is not None and self._peek().kind == "CONFIG":
+                config = self._next().value
+            self._declare(name, class_tok.value, config, name_tok.line)
+        elif self._peek() is not None and self._peek().kind == "CONFIG":
+            config = self._next().value
+            # Inline element: IDENT(CONFIG) declares an anonymous instance
+            # unless the identifier is already a declared element name.
+            if name in self.ast.declarations:
+                raise ConfigError(
+                    "element %r already declared; cannot re-configure inline" % name,
+                    name_tok.line,
+                )
+            anon = "%s@%d" % (name, self._anon_counter)
+            self._anon_counter += 1
+            self._declare(anon, name, config, name_tok.line)
+            name = anon
+        elif name not in self.ast.declarations:
+            # Bare class name used inline (e.g. "-> EtherMirror ->").
+            if name[0].isupper():
+                anon = "%s@%d" % (name, self._anon_counter)
+                self._anon_counter += 1
+                self._declare(anon, name, "", name_tok.line)
+                name = anon
+            else:
+                raise ConfigError("undeclared element %r" % name, name_tok.line)
+        out_port = 0
+        if self._peek() is not None and self._peek().kind == "LBRACKET":
+            self._next()
+            out_port = int(self._expect("NUMBER").value)
+            self._expect("RBRACKET")
+        return name, in_port, out_port, line
+
+    def _chain(self) -> None:
+        name, _, out_port, line = self._endpoint()
+        self._chain_from(name, out_port, line)
+
+    def _chain_from(self, src: str, src_port: int, line: int) -> None:
+        token = self._peek()
+        if token is None or token.kind != "ARROW":
+            raise ConfigError("expected '->' after %r" % src, line)
+        while self._peek() is not None and self._peek().kind == "ARROW":
+            self._next()
+            dst, dst_in, dst_out, dst_line = self._endpoint()
+            self.ast.connections.append(
+                Connection(src=src, dst=dst, src_port=src_port, dst_port=dst_in,
+                           line=dst_line)
+            )
+            src, src_port = dst, dst_out
+
+
+def parse_config(text: str) -> ConfigAst:
+    """Parse a Click configuration into an AST."""
+    ast = _Parser(tokenize(text)).parse()
+    _validate(ast)
+    return ast
+
+
+def _validate(ast: ConfigAst) -> None:
+    for conn in ast.connections:
+        for name in (conn.src, conn.dst):
+            if name not in ast.declarations:
+                raise ConfigError("connection references undeclared element %r" % name,
+                                  conn.line)
+    # No two connections may leave the same output port (push fan-out
+    # requires an explicit Tee in Click).
+    seen = set()
+    for conn in ast.connections:
+        key = (conn.src, conn.src_port)
+        if key in seen:
+            raise ConfigError(
+                "output port %d of %r connected twice" % (conn.src_port, conn.src),
+                conn.line,
+            )
+        seen.add(key)

@@ -1,0 +1,125 @@
+"""ControlSocket: Click's text control protocol over the handler broker.
+
+Real Click deployments expose a TCP "ControlSocket" speaking a simple
+line protocol (READ/WRITE/LLRPC...).  This implements the protocol's
+core verbs against a built graph, transport-agnostically: feed it
+command lines, get response strings with the standard status codes.
+
+Protocol (subset, matching Click's):
+
+    READ element.handler      -> 200 + DATA <n> + payload
+    WRITE element.handler v   -> 200 Write handler ... OK
+    CHECKREAD / CHECKWRITE    -> 200 if allowed, 501 otherwise
+    LIST                      -> element count + names
+    HANDLERS element          -> handler list
+    QUIT                      -> connection close
+
+Status codes: 200 OK, 500 syntax error, 501 no such handler/element.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.click.graph import ProcessingGraph
+from repro.click.handlers import HandlerBroker, HandlerError
+
+PROTOCOL_BANNER = "Click::ControlSocket/1.3"
+
+
+class ControlSocketSession:
+    """One protocol session (the transport is whoever calls ``handle``)."""
+
+    def __init__(self, graph: ProcessingGraph):
+        self.graph = graph
+        self.broker = HandlerBroker(graph)
+        self.closed = False
+
+    def banner(self) -> str:
+        return PROTOCOL_BANNER
+
+    # -- protocol ---------------------------------------------------------------
+
+    def handle(self, line: str) -> str:
+        """Process one command line; returns the full response text."""
+        if self.closed:
+            return "500 connection closed"
+        parts = line.strip().split(None, 1)
+        if not parts:
+            return "500 empty command"
+        verb = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        handler = getattr(self, "_cmd_%s" % verb.lower(), None)
+        if handler is None:
+            return "500 unknown command %r" % verb
+        return handler(rest)
+
+    def handle_script(self, lines: List[str]) -> List[str]:
+        return [self.handle(line) for line in lines]
+
+    # -- verbs -------------------------------------------------------------------
+
+    def _cmd_read(self, arg: str) -> str:
+        if not arg:
+            return "500 READ needs element.handler"
+        try:
+            data = self.broker.read(arg)
+        except HandlerError as exc:
+            return "501 %s" % exc.args[0]
+        return "200 Read handler '%s' OK\nDATA %d\n%s" % (arg, len(data), data)
+
+    def _cmd_write(self, arg: str) -> str:
+        if not arg:
+            return "500 WRITE needs element.handler [value]"
+        parts = arg.split(None, 1)
+        path = parts[0]
+        value = parts[1] if len(parts) > 1 else ""
+        try:
+            self.broker.write(path, value)
+        except HandlerError as exc:
+            return "501 %s" % exc.args[0]
+        return "200 Write handler '%s' OK" % path
+
+    def _cmd_checkread(self, arg: str) -> str:
+        try:
+            self.broker.read(arg)
+            return "200 Read handler '%s' OK" % arg
+        except HandlerError as exc:
+            return "501 %s" % exc.args[0]
+
+    def _cmd_checkwrite(self, arg: str) -> str:
+        element_handler = arg.strip()
+        try:
+            element, handler = self.broker._split(element_handler)
+        except HandlerError as exc:
+            return "501 %s" % exc.args[0]
+        if not handler.writable:
+            return "501 handler '%s' not writable" % element_handler
+        return "200 Write handler '%s' OK" % element_handler
+
+    def _cmd_list(self, arg: str) -> str:
+        names = sorted(self.graph.elements)
+        return "200 Element list\nDATA %d\n%s" % (len(names), "\n".join(names))
+
+    def _cmd_handlers(self, arg: str) -> str:
+        if not arg:
+            return "500 HANDLERS needs an element name"
+        try:
+            handlers = self.broker.list_handlers(arg.strip())
+        except KeyError:
+            return "501 no element named %r" % arg.strip()
+        return "200 Handler list\nDATA %d\n%s" % (len(handlers), "\n".join(handlers))
+
+    def _cmd_quit(self, arg: str) -> str:
+        self.closed = True
+        return "200 Goodbye!"
+
+
+def parse_read_response(response: str) -> Optional[str]:
+    """Extract the payload of a successful READ response, else None."""
+    lines = response.splitlines()
+    if not lines or not lines[0].startswith("200"):
+        return None
+    if len(lines) < 2 or not lines[1].startswith("DATA "):
+        return None
+    return "\n".join(lines[2:])

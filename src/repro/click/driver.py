@@ -1,0 +1,264 @@
+"""Run-to-completion driver: the FastClick main loop.
+
+One iteration receives a burst from each RX device, pushes it through the
+processing graph (splitting sub-batches at classifiers, exactly like
+FastClick's batch push), and transmits whatever reaches the TX devices.
+
+Costs are charged from three sources per element visit:
+
+1. the *dispatch policy* -- how the next element is reached: virtual call
+   through a heap-resident dynamic graph (Vanilla), direct call
+   (click-devirtualize), or fully inlined straight-line code over a
+   static graph (PacketMill);
+2. the element's lowered per-packet IR program; and
+3. the PMD programs inside rx_burst/tx_burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.click.element import Element
+from repro.click.graph import ProcessingGraph
+from repro.compiler.lower import ExecProgram
+from repro.compiler.runtime import Bindings, execute
+
+DISPATCH_VIRTUAL = "virtual"
+DISPATCH_DIRECT = "direct"
+DISPATCH_INLINE = "inline"
+
+#: Indirect-call misprediction odds per batch hop in a dynamic graph.
+VIRTUAL_CALL_MISS = 0.45
+
+
+@dataclass(frozen=True)
+class DispatchPolicy:
+    """How control transfers between elements (per batch, per element)."""
+
+    mode: str = DISPATCH_VIRTUAL
+    static_segment: bool = False
+
+    def charge(self, cpu, element: Element, params) -> None:
+        if self.mode == DISPATCH_INLINE:
+            # Straight-line code: the "dispatch" is just falling through.
+            cpu.charge_compute(1)
+            return
+        loads = params.dispatch_loads_per_element
+        if self.mode == DISPATCH_DIRECT:
+            loads -= 1  # no vtable pointer load
+        if self.static_segment:
+            # Element descriptors packed in the static segment: the cache
+            # model keeps these few lines warm by itself.
+            base = element.state_region.base if element.state_region else 0
+            for i in range(loads):
+                cpu.mem_access(base + 8 * i, 8, instructions=1.0)
+        else:
+            for _ in range(loads):
+                cpu.dispatch_access(instructions=1.0)
+        if self.mode == DISPATCH_VIRTUAL:
+            cpu.charge_compute(8)
+            cpu.charge_branch_miss(VIRTUAL_CALL_MISS)
+        else:
+            cpu.charge_compute(4)
+
+
+@dataclass
+class RunStats:
+    """Functional outcome of one measurement run."""
+
+    batches: int = 0
+    rx_packets: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    drops: int = 0
+    drops_by_element: Dict[str, int] = field(default_factory=dict)
+
+    def record_drop(self, element_name: str, count: int = 1) -> None:
+        self.drops += count
+        self.drops_by_element[element_name] = (
+            self.drops_by_element.get(element_name, 0) + count
+        )
+
+
+class RouterDriver:
+    """Executes a compiled processing graph on one core."""
+
+    def __init__(
+        self,
+        graph: ProcessingGraph,
+        cpu,
+        params,
+        exec_programs: Dict[str, ExecProgram],
+        dispatch: DispatchPolicy,
+        pmds: Dict[int, "MlxPmd"],  # noqa: F821 - forward ref to avoid cycle
+        burst: int = 32,
+    ):
+        self.graph = graph
+        self.cpu = cpu
+        self.params = params
+        self.exec_programs = exec_programs
+        self.dispatch = dispatch
+        self.pmds = pmds
+        self.burst = burst
+        self.stats = RunStats()
+        self.rx_elements: List[Element] = []
+        self.queue_elements: List[Element] = [
+            e for e in graph.all_elements()
+            if getattr(e, "buffers_packets", False) and hasattr(e, "drain")
+        ]
+        for element in graph.by_class("FromDPDKDevice"):
+            port = element.param("port")
+            if port not in pmds:
+                raise ValueError("no PMD bound for RX port %d" % port)
+            element.pmd = pmds[port]
+            self.rx_elements.append(element)
+        for element in graph.by_class("ToDPDKDevice"):
+            port = element.param("port")
+            if port not in pmds:
+                raise ValueError("no PMD bound for TX port %d" % port)
+            element.pmd = pmds[port]
+        if not self.rx_elements:
+            raise ValueError("configuration has no FromDPDKDevice")
+        # All PMDs of one build share the metadata model; dropped packets
+        # hand their buffers back to it (Click's Packet::kill()).
+        self._model = next(iter(pmds.values())).model
+
+    # -- execution -----------------------------------------------------------------
+
+    def _kill(self, element_name: str, packets) -> None:
+        """Drop packets, releasing their DPDK buffers back to the model."""
+        for pkt in packets:
+            if pkt.mbuf is not None:
+                self._model.release(pkt.mbuf, self.cpu)
+                pkt.mbuf = None
+        self.stats.record_drop(element_name, len(packets))
+
+    def _clone_packet(self, element: Element, pkt):
+        """Duplicate a packet into a fresh app-allocated buffer (Tee)."""
+        clone = pkt.clone()
+        ref = self._model.allocate(self.cpu)
+        clone.mbuf = ref
+        # The copy itself: one streaming write over the clone's data room.
+        self.cpu.mem_access(ref.data_addr, max(64, len(pkt)), write=True,
+                            instructions=len(pkt) / 16.0)
+        if hasattr(element, "cloned"):
+            element.cloned += 1
+        return clone
+
+    def _charge_element(self, element: Element, batch: List) -> None:
+        self.dispatch.charge(self.cpu, element, self.params)
+        program = self.exec_programs[element.name]
+        state = element.state_region.base if element.state_region else 0
+        cpu = self.cpu
+        for pkt in batch:
+            ref = pkt.mbuf
+            execute(
+                cpu,
+                program,
+                Bindings(
+                    packet_meta=ref.meta_addr if ref else 0,
+                    packet_mbuf=ref.mbuf_addr if ref else 0,
+                    descriptor=ref.cqe_addr if ref else 0,
+                    data=ref.data_addr if ref else 0,
+                    state=state,
+                ),
+            )
+
+    def _push_batch(self, element: Element, batch: List, tx_queues) -> None:
+        """Recursively push a batch through the graph from ``element``."""
+        while True:
+            self._charge_element(element, batch)
+            if element.decl.class_name == "ToDPDKDevice":
+                tx_queues.setdefault(element.name, (element, []))[1].extend(batch)
+                return
+            out: Dict[int, List] = {}
+            clones = getattr(element, "clones_packets", False)
+            for pkt in batch:
+                port = element.process(pkt)
+                if port is None:
+                    self._kill(element.name, (pkt,))
+                    continue
+                if port == -1:  # held by a buffering element (Queue)
+                    continue
+                out.setdefault(port, []).append(pkt)
+                if clones:
+                    for extra_port in range(1, element.n_outputs):
+                        out.setdefault(extra_port, []).append(
+                            self._clone_packet(element, pkt)
+                        )
+            if not out:
+                return
+            # Fast path: single output port, continue iteratively.
+            if len(out) == 1:
+                ((port, batch),) = out.items()
+                target = element.target(port)
+                if target is None:
+                    self._kill(element.name, batch)
+                    return
+                element = target[0]
+                continue
+            for port, sub_batch in out.items():
+                target = element.target(port)
+                if target is None:
+                    self._kill(element.name, sub_batch)
+                    continue
+                self._push_batch(target[0], sub_batch, tx_queues)
+            return
+
+    def run_batches(self, n_batches: int) -> RunStats:
+        """Run the main loop for ``n_batches`` iterations."""
+        for _ in range(n_batches):
+            self.step()
+        return self.stats
+
+    def step(self) -> int:
+        """One main-loop iteration; returns packets received."""
+        received = 0
+        for rx in self.rx_elements:
+            batch = rx.pmd.rx_burst(rx.param("burst"))
+            if not batch:
+                continue
+            received += len(batch)
+            self.stats.rx_packets += len(batch)
+            tx_queues: Dict[str, tuple] = {}
+            target = rx.target(0)
+            self._charge_element(rx, batch)
+            if target is None:
+                self._kill(rx.name, batch)
+            else:
+                self._push_batch(target[0], batch, tx_queues)
+            self._drain_queues(tx_queues)
+            for element, pkts in tx_queues.values():
+                sent = element.pmd.tx_burst(pkts)
+                self.stats.tx_packets += sent
+                self.stats.tx_bytes += sum(len(p) for p in pkts[:sent])
+                if sent < len(pkts):  # TX ring full: unsent packets die
+                    self._kill(element.name, pkts[sent:])
+        self.stats.batches += 1
+        return received
+
+    def _drain_queues(self, tx_queues) -> None:
+        """Drain buffering elements at the end of the iteration.
+
+        Chained queues may refill each other, so iterate to a fixed point
+        (bounded -- queue cycles cannot make progress forever within one
+        iteration's packet population).
+        """
+        for _ in range(8):
+            moved = False
+            for queue in self.queue_elements:
+                batch = queue.drain(self.burst)
+                if not batch:
+                    continue
+                moved = True
+                target = queue.target(0)
+                if target is None:
+                    self._kill(queue.name, batch)
+                else:
+                    self._push_batch(target[0], batch, tx_queues)
+            if not moved:
+                return
+
+    def reset_stats(self) -> None:
+        self.stats = RunStats()

@@ -1,0 +1,70 @@
+"""Element library.  Importing this package registers every element class."""
+
+from repro.click.elements import (  # noqa: F401
+    classifier,
+    counter,
+    ethernet,
+    flow,
+    icmp_error,
+    ids,
+    io,
+    ipfilter,
+    ip,
+    misc,
+    nat,
+    routing,
+    synthetic,
+    tee,
+    vlan,
+)
+
+from repro.click.elements.classifier import Classifier, IPClassifier
+from repro.click.elements.counter import AverageCounter, Counter
+from repro.click.elements.ethernet import EtherEncap, EtherMirror, EtherRewrite
+from repro.click.elements.flow import PaintSwitch, Print, Queue, SetIPChecksum
+from repro.click.elements.icmp_error import ICMPError
+from repro.click.elements.tee import Tee
+from repro.click.elements.ids import CheckICMPHeader, CheckTCPHeader, CheckUDPHeader
+from repro.click.elements.ipfilter import IPFilter
+from repro.click.elements.io import FromDPDKDevice, ToDPDKDevice
+from repro.click.elements.ip import CheckIPHeader, DecIPTTL, MarkIPHeader, Strip, Unstrip
+from repro.click.elements.misc import ARPResponder, Discard, Paint
+from repro.click.elements.nat import IPRewriter
+from repro.click.elements.routing import RadixIPLookup
+from repro.click.elements.synthetic import WorkPackage
+from repro.click.elements.vlan import VLANDecap, VLANEncap
+
+__all__ = [
+    "ARPResponder",
+    "AverageCounter",
+    "CheckICMPHeader",
+    "CheckIPHeader",
+    "CheckTCPHeader",
+    "CheckUDPHeader",
+    "Classifier",
+    "Counter",
+    "DecIPTTL",
+    "Discard",
+    "EtherEncap",
+    "EtherMirror",
+    "EtherRewrite",
+    "FromDPDKDevice",
+    "ICMPError",
+    "IPClassifier",
+    "IPFilter",
+    "IPRewriter",
+    "MarkIPHeader",
+    "Paint",
+    "PaintSwitch",
+    "Print",
+    "Queue",
+    "SetIPChecksum",
+    "RadixIPLookup",
+    "Strip",
+    "Tee",
+    "ToDPDKDevice",
+    "Unstrip",
+    "VLANDecap",
+    "VLANEncap",
+    "WorkPackage",
+]

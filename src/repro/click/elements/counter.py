@@ -1,0 +1,68 @@
+"""Counting elements."""
+
+from __future__ import annotations
+
+from repro.click.element import Element, register
+from repro.compiler.ir import Compute, Program, StateAccess
+
+
+@register
+class Counter(Element):
+    """Count packets and bytes passing through."""
+
+    class_name = "Counter"
+
+    def configure(self, args, kwargs):
+        self.packets = 0
+        self.bytes = 0
+
+    def process(self, pkt):
+        self.packets += 1
+        self.bytes += len(pkt)
+        return 0
+
+    def reset(self):
+        self.packets = 0
+        self.bytes = 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                StateAccess(0, 8, write=True),
+                StateAccess(8, 8, write=True),
+                Compute(4, note="count"),
+            ],
+        )
+
+
+@register
+class AverageCounter(Element):
+    """Track packet count, byte count, and mean packet size."""
+
+    class_name = "AverageCounter"
+
+    def configure(self, args, kwargs):
+        self.packets = 0
+        self.bytes = 0
+
+    def process(self, pkt):
+        self.packets += 1
+        self.bytes += len(pkt)
+        return 0
+
+    def average_length(self) -> float:
+        return self.bytes / self.packets if self.packets else 0.0
+
+    def reset(self):
+        self.packets = 0
+        self.bytes = 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                StateAccess(0, 16, write=True),
+                Compute(6, note="running-average"),
+            ],
+        )

@@ -1,0 +1,103 @@
+"""ICMPError: turn an offending packet into the matching ICMP error.
+
+The standard Click router wires ``DecIPTTL``'s expired output through
+``ICMPError(router-ip, timeexceeded)`` back out the interface; this
+element implements that RFC 792 behaviour: the error datagram carries
+the original IP header plus its first 8 payload bytes, is sourced from
+the router's address, and is addressed to the offender's source.
+
+The transformation happens in place (the offending packet's buffer is
+reused), matching the common fast-path implementation.
+"""
+
+from __future__ import annotations
+
+from repro.click.element import Element, ElementConfigError, register
+from repro.compiler.ir import Compute, DataAccess, FieldAccess, Program
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.protocols import ETHERTYPE_IP, IP_PROTO_ICMP
+from repro.net.protocols.ether import EtherHeader
+from repro.net.protocols.icmp import IcmpHeader
+from repro.net.protocols.ip4 import Ipv4Header
+
+_TYPE_NAMES = {
+    "timeexceeded": IcmpHeader.TIME_EXCEEDED,
+    "unreachable": IcmpHeader.DEST_UNREACHABLE,
+}
+
+#: RFC 792: the error quotes the offending IP header + 8 payload bytes.
+QUOTED_BYTES = 8
+
+
+@register
+class ICMPError(Element):
+    """Generate an ICMP error for each incoming (offending) packet."""
+
+    class_name = "ICMPError"
+
+    def configure(self, args, kwargs):
+        if len(args) == 1:  # Click also allows space-separated form
+            args = args[0].split()
+        if len(args) < 2:
+            raise ElementConfigError("ICMPError needs 'SRC-IP TYPE [CODE]'")
+        self.declare_param("src_ip", IPv4Address(args[0]), size=4)
+        type_arg = args[1].strip().lower()
+        if type_arg in _TYPE_NAMES:
+            icmp_type = _TYPE_NAMES[type_arg]
+        elif type_arg.isdigit():
+            icmp_type = int(type_arg)
+        else:
+            raise ElementConfigError("unknown ICMP type %r" % args[1])
+        self.declare_param("icmp_type", icmp_type, size=1)
+        self.declare_param("code", int(args[2]) if len(args) > 2 else 0, size=1)
+        self.errors_sent = 0
+
+    def process(self, pkt):
+        if pkt.network_header_offset is None:
+            return None  # not an IP packet; nothing to complain about
+        offender = pkt.ip()
+        if offender.proto == IP_PROTO_ICMP:
+            return None  # never answer ICMP with ICMP (RFC 1122)
+        original_src = offender.src
+        quoted_len = offender.header_len + QUOTED_BYTES
+        quoted = bytes(
+            pkt.buffer[
+                pkt.headroom + pkt.network_header_offset :
+                pkt.headroom + pkt.network_header_offset + quoted_len
+            ]
+        )
+        ether = pkt.ether()
+        src_mac, dst_mac = MacAddress(ether.dst), MacAddress(ether.src)
+
+        icmp = IcmpHeader.build(
+            self.param("icmp_type"), code=self.param("code"), payload=quoted
+        )
+        ip = Ipv4Header.build(
+            self.param("src_ip"), original_src, IP_PROTO_ICMP,
+            len(icmp) + len(quoted), ttl=64,
+        )
+        frame = EtherHeader.build(dst_mac, src_mac, ETHERTYPE_IP) + ip + icmp + quoted
+        if len(frame) < 64:
+            frame += bytes(64 - len(frame))
+
+        # Rewrite the offending packet's buffer in place.
+        pkt.buffer[pkt.headroom : pkt.headroom + len(frame)] = frame
+        pkt.length = len(frame)
+        pkt.mac_header_offset = 0
+        pkt.network_header_offset = EtherHeader.LENGTH
+        pkt.transport_header_offset = EtherHeader.LENGTH + Ipv4Header.LENGTH
+        self.errors_sent += 1
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("src_ip"),
+                self.param_read_op("icmp_type"),
+                DataAccess(0, 70, write=True),   # rebuild ether+ip+icmp+quote
+                FieldAccess("Packet", "length", write=True),
+                FieldAccess("Packet", "network_header", write=True),
+                Compute(90, note="icmp-error-build"),
+            ],
+        )

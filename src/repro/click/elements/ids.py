@@ -1,0 +1,88 @@
+"""IDS elements: structural validation of transport headers.
+
+The paper's IDS configuration "checks the correctness of TCP, UDP, and
+ICMP headers, except for the checksum that can be verified in hardware"
+(Appendix A.3).
+"""
+
+from __future__ import annotations
+
+from repro.click.element import Element, register
+from repro.compiler.ir import BranchHint, Compute, DataAccess, Program
+from repro.net.protocols import IP_PROTO_ICMP, IP_PROTO_TCP, IP_PROTO_UDP
+
+
+class _CheckHeaderBase(Element):
+    """Shared machinery: validate, count, drop to port 1 when bad."""
+
+    n_outputs = 2  # 1 = invalid (usually unconnected -> drop)
+    proto = None
+
+    def configure(self, args, kwargs):
+        self.checked = 0
+        self.bad = 0
+
+    def _valid(self, pkt) -> bool:
+        raise NotImplementedError
+
+    def process(self, pkt):
+        self.checked += 1
+        if pkt.ip().proto != self.proto:
+            return 0  # not ours; pass through untouched
+        if not self._valid(pkt):
+            self.bad += 1
+            return 1
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                DataAccess(23, 1),   # protocol
+                DataAccess(34, 13),  # transport header fields
+                Compute(74, note="header-structure-check"),
+                BranchHint(0.02, note="bad-header"),
+            ],
+        )
+
+
+@register
+class CheckTCPHeader(_CheckHeaderBase):
+    """Validate TCP data offset and header bounds."""
+
+    class_name = "CheckTCPHeader"
+    proto = IP_PROTO_TCP
+
+    def _valid(self, pkt) -> bool:
+        available = pkt.transport_available()
+        if available < 20:
+            return False
+        return pkt.tcp().verify_structure(available)
+
+
+@register
+class CheckUDPHeader(_CheckHeaderBase):
+    """Validate the UDP length field against the remaining bytes."""
+
+    class_name = "CheckUDPHeader"
+    proto = IP_PROTO_UDP
+
+    def _valid(self, pkt) -> bool:
+        available = pkt.transport_available()
+        if available < 8:
+            return False
+        return pkt.udp().verify_structure(available)
+
+
+@register
+class CheckICMPHeader(_CheckHeaderBase):
+    """Validate the ICMP type and header bounds."""
+
+    class_name = "CheckICMPHeader"
+    proto = IP_PROTO_ICMP
+
+    def _valid(self, pkt) -> bool:
+        available = pkt.transport_available()
+        if available < 8:
+            return False
+        return pkt.icmp().verify_structure(available)

@@ -1,0 +1,164 @@
+"""IPv4-layer elements."""
+
+from __future__ import annotations
+
+from repro.click.element import Element, register
+from repro.compiler.ir import BranchHint, Compute, DataAccess, FieldAccess, Program
+from repro.net.protocols.ether import EtherHeader
+from repro.net.protocols.ip4 import Ipv4Header
+
+
+@register
+class CheckIPHeader(Element):
+    """Validate the IPv4 header (version, lengths, checksum) and mark it.
+
+    Invalid packets are dropped (Click sends them to output 1 if wired;
+    we model the common drop case).
+    """
+
+    class_name = "CheckIPHeader"
+    n_outputs = 2  # 1 = bad packets, usually left unconnected (drop)
+
+    def configure(self, args, kwargs):
+        offset = int(kwargs.get("OFFSET", args[0] if args else EtherHeader.LENGTH))
+        self.declare_param("offset", offset, size=4)
+        self.checked = 0
+        self.bad = 0
+
+    def process(self, pkt):
+        offset = self.param("offset")
+        pkt.mac_header_offset = 0
+        pkt.network_header_offset = offset
+        self.checked += 1
+        if pkt.length < offset + Ipv4Header.LENGTH:
+            self.bad += 1
+            return 1
+        ip = pkt.ip()
+        if not ip.verify():
+            self.bad += 1
+            return 1
+        pkt.transport_header_offset = offset + ip.header_len
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("offset"),
+                DataAccess(self.param("offset"), 20),  # whole IPv4 header
+                Compute(30, note="checksum-verify"),
+                FieldAccess("Packet", "network_header", write=True),
+                FieldAccess("Packet", "transport_header", write=True),
+                BranchHint(0.01, note="bad-header"),
+            ],
+        )
+
+
+@register
+class DecIPTTL(Element):
+    """Decrement TTL with the incremental checksum fix; drop expired."""
+
+    class_name = "DecIPTTL"
+    n_outputs = 2  # 1 = expired (ICMP time-exceeded in a full router)
+
+    def configure(self, args, kwargs):
+        self.expired = 0
+
+    def process(self, pkt):
+        ip = pkt.ip()
+        if ip.ttl <= 1:
+            self.expired += 1
+            return 1
+        ip.decrement_ttl()
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                DataAccess(22, 2, write=True),  # TTL + proto word
+                DataAccess(24, 2, write=True),  # checksum
+                Compute(12, note="incremental-checksum"),
+                BranchHint(0.01, note="ttl-expired"),
+            ],
+        )
+
+
+@register
+class Strip(Element):
+    """Remove ``n`` bytes from the front of the packet."""
+
+    class_name = "Strip"
+
+    def configure(self, args, kwargs):
+        self.declare_param("n", int(args[0]) if args else EtherHeader.LENGTH, size=4)
+
+    def process(self, pkt):
+        pkt.pull(self.param("n"))
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("n"),
+                FieldAccess("Packet", "data_ptr", write=True),
+                FieldAccess("Packet", "length", write=True),
+                Compute(4, note="pointer-adjust"),
+            ],
+        )
+
+
+@register
+class Unstrip(Element):
+    """Put ``n`` bytes back at the front of the packet."""
+
+    class_name = "Unstrip"
+
+    def configure(self, args, kwargs):
+        self.declare_param("n", int(args[0]) if args else EtherHeader.LENGTH, size=4)
+
+    def process(self, pkt):
+        pkt.push(self.param("n"))
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("n"),
+                FieldAccess("Packet", "data_ptr", write=True),
+                FieldAccess("Packet", "length", write=True),
+                Compute(4, note="pointer-adjust"),
+            ],
+        )
+
+
+@register
+class MarkIPHeader(Element):
+    """Set the network/transport header offsets without validation."""
+
+    class_name = "MarkIPHeader"
+
+    def configure(self, args, kwargs):
+        offset = int(kwargs.get("OFFSET", args[0] if args else EtherHeader.LENGTH))
+        self.declare_param("offset", offset, size=4)
+
+    def process(self, pkt):
+        offset = self.param("offset")
+        pkt.mac_header_offset = 0
+        pkt.network_header_offset = offset
+        pkt.transport_header_offset = offset + pkt.ip().header_len
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("offset"),
+                DataAccess(14, 1),  # IHL byte
+                FieldAccess("Packet", "network_header", write=True),
+                FieldAccess("Packet", "transport_header", write=True),
+                Compute(5, note="mark"),
+            ],
+        )

@@ -1,0 +1,227 @@
+"""IPFilter: Click's packet-filter element with its expression language.
+
+Each configuration argument is ``ACTION EXPR`` where ACTION is an output
+port number, ``allow`` (port 0), or ``deny``/``drop`` (discard), and EXPR
+is a boolean combination of primitives::
+
+    IPFilter(allow tcp && dst port 80, deny src net 10.0.0.0/8, allow all)
+
+Supported primitives: ``ip``/``tcp``/``udp``/``icmp``, ``all``/``none``,
+``[src|dst] host A.B.C.D``, ``[src|dst] net A.B.C.D/len``,
+``[src|dst] port N``; operators ``&&``/``and``, ``||``/``or``, ``!``/
+``not``, and parentheses.  The first matching rule decides; a packet
+matching no rule is dropped (Click's semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.click.element import Element, ElementConfigError, register
+from repro.compiler.ir import BranchHint, Compute, DataAccess, Program
+from repro.compiler.passes.transforms import FOLDABLE_NOTE
+from repro.net.addresses import IPv4Address
+from repro.net.protocols import IP_PROTO_ICMP, IP_PROTO_TCP, IP_PROTO_UDP
+
+Predicate = Callable[[object], bool]
+
+_PROTOS = {"tcp": IP_PROTO_TCP, "udp": IP_PROTO_UDP, "icmp": IP_PROTO_ICMP}
+
+
+def _tokenize(expr: str) -> List[str]:
+    out = []
+    for raw in expr.replace("(", " ( ").replace(")", " ) ").split():
+        if raw == "&&":
+            out.append("and")
+        elif raw == "||":
+            out.append("or")
+        elif raw == "!":
+            out.append("not")
+        else:
+            out.append(raw)
+    return out
+
+
+class _ExprParser:
+    """Recursive-descent parser producing a Predicate closure."""
+
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ElementConfigError("unexpected end of filter expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Predicate:
+        predicate = self._or()
+        if self._peek() is not None:
+            raise ElementConfigError("trailing tokens in filter: %r" % self._peek())
+        return predicate
+
+    def _or(self) -> Predicate:
+        left = self._and()
+        while self._peek() == "or":
+            self._next()
+            right = self._and()
+            left = (lambda a, b: lambda pkt: a(pkt) or b(pkt))(left, right)
+        return left
+
+    def _and(self) -> Predicate:
+        left = self._not()
+        while self._peek() == "and":
+            self._next()
+            right = self._not()
+            left = (lambda a, b: lambda pkt: a(pkt) and b(pkt))(left, right)
+        return left
+
+    def _not(self) -> Predicate:
+        if self._peek() == "not":
+            self._next()
+            inner = self._not()
+            return lambda pkt: not inner(pkt)
+        return self._primitive()
+
+    def _primitive(self) -> Predicate:
+        token = self._next()
+        if token == "(":
+            inner = self._or()
+            if self._next() != ")":
+                raise ElementConfigError("missing ')' in filter expression")
+            return inner
+        if token == "all":
+            return lambda pkt: True
+        if token == "none":
+            return lambda pkt: False
+        if token == "ip":
+            return lambda pkt: True  # IPFilter only sees IP packets
+        if token in _PROTOS:
+            proto = _PROTOS[token]
+            return lambda pkt: pkt.ip().proto == proto
+        if token in ("src", "dst"):
+            direction = token
+            kind = self._next()
+            return self._directional(direction, kind)
+        if token in ("host", "net", "port"):
+            # Undirected: matches either direction.
+            src = self._directional("src", token, consume=True)
+            self._rewind_value(token)
+            dst = self._directional("dst", token, consume=True)
+            return lambda pkt: src(pkt) or dst(pkt)
+        raise ElementConfigError("unknown filter primitive %r" % token)
+
+    # -- directional primitives ------------------------------------------------
+
+    _last_value_tokens: int = 0
+
+    def _rewind_value(self, kind: str) -> None:
+        self.pos -= self._last_value_tokens
+
+    def _directional(self, direction: str, kind: str, consume: bool = True) -> Predicate:
+        if kind == "host":
+            addr = IPv4Address(self._next())
+            self._last_value_tokens = 1
+            if direction == "src":
+                return lambda pkt: pkt.ip().src == addr
+            return lambda pkt: pkt.ip().dst == addr
+        if kind == "net":
+            spec = self._next()
+            self._last_value_tokens = 1
+            try:
+                base_s, len_s = spec.split("/")
+                base, prefix_len = IPv4Address(base_s), int(len_s)
+            except ValueError:
+                raise ElementConfigError("bad net spec %r" % spec) from None
+            if direction == "src":
+                return lambda pkt: pkt.ip().src.in_prefix(base, prefix_len)
+            return lambda pkt: pkt.ip().dst.in_prefix(base, prefix_len)
+        if kind == "port":
+            value = self._next()
+            self._last_value_tokens = 1
+            if not value.isdigit():
+                raise ElementConfigError("bad port %r" % value)
+            port = int(value)
+
+            def match(pkt, direction=direction, port=port):
+                proto = pkt.ip().proto
+                if proto == IP_PROTO_TCP:
+                    l4 = pkt.tcp()
+                elif proto == IP_PROTO_UDP:
+                    l4 = pkt.udp()
+                else:
+                    return False
+                return (l4.src_port if direction == "src" else l4.dst_port) == port
+
+            return match
+        raise ElementConfigError("unknown qualifier %r after %r" % (kind, direction))
+
+
+def parse_filter_expression(expr: str) -> Predicate:
+    """Compile one filter expression into a predicate."""
+    tokens = _tokenize(expr)
+    if not tokens:
+        raise ElementConfigError("empty filter expression")
+    return _ExprParser(tokens).parse()
+
+
+@register
+class IPFilter(Element):
+    """First-match packet filter over the expression language above."""
+
+    class_name = "IPFilter"
+
+    def configure(self, args, kwargs):
+        if not args:
+            raise ElementConfigError("IPFilter needs at least one rule")
+        self.rules: List[Tuple[Optional[int], Predicate, str]] = []
+        max_port = 0
+        for arg in args:
+            parts = arg.split(None, 1)
+            if len(parts) != 2:
+                raise ElementConfigError("rule needs 'ACTION EXPR': %r" % arg)
+            action_s, expr = parts
+            action: Optional[int]
+            if action_s == "allow":
+                action = 0
+            elif action_s in ("deny", "drop"):
+                action = None
+            elif action_s.isdigit():
+                action = int(action_s)
+            else:
+                raise ElementConfigError("unknown action %r" % action_s)
+            if action is not None:
+                max_port = max(max_port, action)
+            self.rules.append((action, parse_filter_expression(expr), arg))
+            self.declare_param("rule%d" % (len(self.rules) - 1), arg, size=8)
+        self.n_outputs = max_port + 1
+        self.matched = [0] * len(self.rules)
+        self.unmatched = 0
+
+    def process(self, pkt):
+        for index, (action, predicate, _) in enumerate(self.rules):
+            if predicate(pkt):
+                self.matched[index] += 1
+                return action
+        self.unmatched += 1
+        return None
+
+    def ir_program(self) -> Program:
+        # The compiled filter is a decision tree over header bytes; with
+        # constant embedding it becomes straight-line compares (Click's
+        # IPFilter actually JITs a classification program).
+        ops = [
+            DataAccess(23, 1),   # protocol
+            DataAccess(26, 8),   # addresses
+            DataAccess(34, 4),   # ports
+        ]
+        for i in range(len(self.rules)):
+            ops.append(self.param_read_op("rule%d" % i))
+        ops.append(Compute(7 * len(self.rules), note=FOLDABLE_NOTE))
+        ops.append(BranchHint(0.07, note="rule-dispatch"))
+        return Program(self.name, ops)

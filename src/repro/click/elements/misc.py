@@ -1,0 +1,105 @@
+"""Miscellaneous elements: Discard, Paint, ARPResponder."""
+
+from __future__ import annotations
+
+from repro.click.element import Element, ElementConfigError, register
+from repro.compiler.ir import Compute, DataAccess, FieldAccess, Program
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.packet import ANNO_PAINT
+from repro.net.protocols.arp import ArpHeader
+from repro.net.protocols.ether import EtherHeader
+
+
+@register
+class Discard(Element):
+    """Swallow every packet."""
+
+    class_name = "Discard"
+    n_outputs = 0
+
+    def configure(self, args, kwargs):
+        self.discarded = 0
+
+    def process(self, pkt):
+        self.discarded += 1
+        return None
+
+    def ir_program(self) -> Program:
+        return Program(self.name, [Compute(2, note="discard")])
+
+
+@register
+class Paint(Element):
+    """Stamp the paint annotation with a configured color."""
+
+    class_name = "Paint"
+
+    def configure(self, args, kwargs):
+        if not args:
+            raise ElementConfigError("Paint needs a color")
+        self.declare_param("color", int(args[0]), size=1)
+
+    def process(self, pkt):
+        pkt.set_anno_u8(ANNO_PAINT, self.param("color"))
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("color"),
+                FieldAccess("Packet", "paint_anno", write=True),
+                Compute(2, note="paint"),
+            ],
+        )
+
+
+@register
+class ARPResponder(Element):
+    """Answer ARP requests for a configured IP with a configured MAC.
+
+    Configuration: ``ARPResponder(10.0.0.1 02:00:00:00:00:02)``.
+    """
+
+    class_name = "ARPResponder"
+
+    def configure(self, args, kwargs):
+        if not args:
+            raise ElementConfigError("ARPResponder needs 'IP MAC'")
+        parts = args[0].split()
+        if len(parts) != 2:
+            raise ElementConfigError("ARPResponder entry must be 'IP MAC'")
+        self.declare_param("ip", IPv4Address(parts[0]), size=4)
+        self.declare_param("mac", MacAddress(parts[1]), size=8)
+        self.replies = 0
+
+    def process(self, pkt):
+        arp = pkt.arp()
+        if not arp.is_valid() or arp.op != ArpHeader.OP_REQUEST:
+            return None
+        if arp.target_ip != self.param("ip"):
+            return None
+        requester_mac = arp.sender_mac
+        requester_ip = arp.sender_ip
+        arp.op = ArpHeader.OP_REPLY
+        arp.target_mac = requester_mac
+        arp.target_ip = requester_ip
+        arp.sender_mac = self.param("mac")
+        arp.sender_ip = self.param("ip")
+        ether = EtherHeader(pkt.buffer, pkt.headroom)
+        ether.dst = requester_mac
+        ether.src = self.param("mac")
+        self.replies += 1
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("ip"),
+                self.param_read_op("mac"),
+                DataAccess(14, 28, write=True),
+                DataAccess(0, 12, write=True),
+                Compute(24, note="arp-reply"),
+            ],
+        )

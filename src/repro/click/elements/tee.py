@@ -1,0 +1,46 @@
+"""Tee: duplicate each packet to every output.
+
+Cloning needs fresh buffers, which is exactly what TinyNF-style static
+driver models cannot provide -- Tee is therefore marked as a buffering
+element too (clones outlive the slot's in-order lifecycle).  The driver
+performs the duplication so clones get buffers from the metadata model's
+``allocate()`` (Click's ``Packet::clone`` + ``uniqueify``).
+"""
+
+from __future__ import annotations
+
+from repro.click.element import Element, ElementConfigError, register
+from repro.compiler.ir import Compute, DataAccess, FieldAccess, Program
+
+
+@register
+class Tee(Element):
+    """Copy each input packet to all ``n`` outputs."""
+
+    class_name = "Tee"
+    #: The driver duplicates packets for elements with this marker.
+    clones_packets = True
+    #: Clones escape the RX slot lifecycle: TinyNF cannot run this.
+    buffers_packets = True
+
+    def configure(self, args, kwargs):
+        n = int(args[0]) if args else 2
+        if n < 1:
+            raise ElementConfigError("Tee needs at least one output")
+        self.n_outputs = n
+        self.cloned = 0
+
+    def process(self, pkt):
+        return 0  # the original continues on port 0; the driver clones
+
+    def ir_program(self) -> Program:
+        # Per-packet cost of one clone: header copy + refcount/metadata.
+        return Program(
+            self.name,
+            [
+                DataAccess(0, 64),
+                FieldAccess("Packet", "buffer"),
+                FieldAccess("Packet", "use_count", write=True),
+                Compute(24 * max(1, self.n_outputs - 1), note="clone"),
+            ],
+        )

@@ -1,0 +1,94 @@
+"""802.1Q VLAN encapsulation/decapsulation."""
+
+from __future__ import annotations
+
+from repro.click.element import Element, register
+from repro.compiler.ir import Compute, DataAccess, FieldAccess, Program
+from repro.compiler.passes.transforms import FOLDABLE_NOTE
+from repro.net.packet import ANNO_VLAN_TCI
+from repro.net.protocols import ETHERTYPE_VLAN
+from repro.net.protocols.vlan import VlanHeader
+
+
+@register
+class VLANEncap(Element):
+    """Insert an 802.1Q tag after the Ethernet addresses.
+
+    With ``VLAN_TCI 0`` (or no argument) the tag is taken from the
+    packet's VLAN annotation -- the flow the paper describes, where the
+    IDS supplement "eventually encapsulates the packet in a VLAN header".
+    """
+
+    class_name = "VLANEncap"
+
+    def configure(self, args, kwargs):
+        tci = int(kwargs.get("VLAN_TCI", args[0] if args else 0))
+        self.declare_param("vlan_tci", tci, size=2)
+        self.encapsulated = 0
+
+    def process(self, pkt):
+        tci = self.param("vlan_tci") or pkt.anno_u16(ANNO_VLAN_TCI) or pkt.vlan_tci
+        pkt.push(VlanHeader.LENGTH)
+        buf = pkt.buffer
+        base = pkt.headroom
+        # Move the MAC addresses to the new front, then splice the tag in.
+        buf[base : base + 12] = buf[base + 4 : base + 16]
+        inner_type = bytes(buf[base + 16 : base + 18])
+        buf[base + 12 : base + 14] = ETHERTYPE_VLAN.to_bytes(2, "big")
+        buf[base + 14 : base + 16] = (tci & 0xFFFF).to_bytes(2, "big")
+        buf[base + 16 : base + 18] = inner_type
+        # The Ethernet header now starts at the new front again.
+        pkt.mac_header_offset = 0
+        self.encapsulated += 1
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                self.param_read_op("vlan_tci"),
+                FieldAccess("Packet", "vlan_anno"),
+                FieldAccess("Packet", "data_ptr", write=True),
+                FieldAccess("Packet", "length", write=True),
+                DataAccess(0, 18, write=True),
+                Compute(22, note=FOLDABLE_NOTE),
+                Compute(34, note="tag-splice"),
+            ],
+        )
+
+
+@register
+class VLANDecap(Element):
+    """Strip an 802.1Q tag, stashing the TCI in the VLAN annotation."""
+
+    class_name = "VLANDecap"
+
+    def configure(self, args, kwargs):
+        self.decapsulated = 0
+
+    def process(self, pkt):
+        base = pkt.headroom
+        buf = pkt.buffer
+        ethertype = int.from_bytes(buf[base + 12 : base + 14], "big")
+        if ethertype != ETHERTYPE_VLAN:
+            return 0
+        tci = int.from_bytes(buf[base + 14 : base + 16], "big")
+        pkt.set_anno_u16(ANNO_VLAN_TCI, tci)
+        # Remove the tag: shift MACs forward 4 bytes, then pull.
+        buf[base + 4 : base + 16] = buf[base : base + 12]
+        pkt.pull(VlanHeader.LENGTH)
+        pkt.mac_header_offset = 0
+        self.decapsulated += 1
+        return 0
+
+    def ir_program(self) -> Program:
+        return Program(
+            self.name,
+            [
+                DataAccess(12, 4),
+                FieldAccess("Packet", "vlan_anno", write=True),
+                FieldAccess("Packet", "data_ptr", write=True),
+                DataAccess(0, 12, write=True),
+                Compute(14, note="untag"),
+            ],
+        )

@@ -1,0 +1,90 @@
+"""Processing graph: instantiate and wire elements from a parsed config."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.click.config.ast import ConfigAst
+from repro.click.config.lexer import ConfigError
+from repro.click.element import Element, ElementRegistry
+
+
+class ProcessingGraph:
+    """The instantiated element graph of one network function."""
+
+    def __init__(self, ast: ConfigAst):
+        self.ast = ast
+        self.elements: Dict[str, Element] = {}
+        for name, decl in ast.declarations.items():
+            self.elements[name] = ElementRegistry.create(decl)
+        for conn in ast.connections:
+            src = self.elements[conn.src]
+            dst = self.elements[conn.dst]
+            if conn.src_port >= src.n_outputs:
+                raise ConfigError(
+                    "element %r has no output port %d" % (conn.src, conn.src_port),
+                    conn.line,
+                )
+            if conn.dst_port >= dst.n_inputs:
+                raise ConfigError(
+                    "element %r has no input port %d" % (conn.dst, conn.dst_port),
+                    conn.line,
+                )
+            src.connect(conn.src_port, dst, conn.dst_port)
+
+    @classmethod
+    def from_text(cls, text: str) -> "ProcessingGraph":
+        from repro.click.config import parse_config
+
+        return cls(parse_config(text))
+
+    def element(self, name: str) -> Element:
+        return self.elements[name]
+
+    def by_class(self, class_name: str) -> List[Element]:
+        return [
+            e for e in self.elements.values() if e.decl.class_name == class_name
+        ]
+
+    def sources(self) -> List[Element]:
+        """Elements that originate packets (no wired inputs, e.g. RX devices)."""
+        has_input = {conn.dst for conn in self.ast.connections}
+        return [
+            element
+            for name, element in self.elements.items()
+            if name not in has_input
+        ]
+
+    def reachable_from(self, start: Element) -> List[Element]:
+        """Elements reachable by following output ports (DFS preorder)."""
+        seen = []
+        seen_set = set()
+        stack = [start]
+        while stack:
+            element = stack.pop()
+            if element.name in seen_set:
+                continue
+            seen_set.add(element.name)
+            seen.append(element)
+            for target in reversed(element.targets):
+                if target is not None:
+                    stack.append(target[0])
+        return seen
+
+    def all_elements(self) -> List[Element]:
+        """Every element, sources first, in deterministic order."""
+        ordered = []
+        seen = set()
+        for source in self.sources():
+            for element in self.reachable_from(source):
+                if element.name not in seen:
+                    seen.add(element.name)
+                    ordered.append(element)
+        for name in self.ast.declarations:
+            if name not in seen:
+                seen.add(name)
+                ordered.append(self.elements[name])
+        return ordered
+
+    def __len__(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,160 @@
+"""Click's handler mechanism: named read/write hooks on live elements.
+
+Every Click element exposes *handlers* -- ``counter.count``,
+``queue.length``, ``rt.lookup`` -- that operators read and write at run
+time (via ControlSocket in real deployments).  This module provides the
+registry and a :class:`HandlerBroker` that resolves ``element.handler``
+paths on a built graph, which the examples and tests use to inspect
+running network functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.click.graph import ProcessingGraph
+
+
+class HandlerError(KeyError):
+    """Unknown element or handler, or wrong access direction."""
+
+
+@dataclass(frozen=True)
+class Handler:
+    """One named hook on an element class."""
+
+    name: str
+    read: Optional[Callable] = None   # (element) -> str
+    write: Optional[Callable] = None  # (element, value_str) -> None
+
+    @property
+    def readable(self) -> bool:
+        return self.read is not None
+
+    @property
+    def writable(self) -> bool:
+        return self.write is not None
+
+
+def _common_handlers(element) -> Dict[str, Handler]:
+    handlers = {
+        "class": Handler("class", read=lambda e: e.decl.class_name),
+        "name": Handler("name", read=lambda e: e.name),
+        "config": Handler("config", read=lambda e: e.decl.config),
+        "ports": Handler(
+            "ports",
+            read=lambda e: "%d inputs, %d outputs" % (e.n_inputs, e.n_outputs),
+        ),
+    }
+    return handlers
+
+
+def _class_handlers(element) -> Dict[str, Handler]:
+    """Per-class handlers, mirroring the real elements' handler sets."""
+    cls = element.decl.class_name
+    handlers: Dict[str, Handler] = {}
+
+    def add(name, read=None, write=None):
+        handlers[name] = Handler(name, read=read, write=write)
+
+    if cls in ("Counter", "AverageCounter"):
+        add("count", read=lambda e: str(e.packets))
+        add("byte_count", read=lambda e: str(e.bytes))
+        add("reset", write=lambda e, v: e.reset())
+        if cls == "AverageCounter":
+            add("average_length", read=lambda e: "%.1f" % e.average_length())
+    elif cls == "Queue":
+        add("length", read=lambda e: str(e.occupancy))
+        add("capacity", read=lambda e: str(e.param("capacity")))
+        add("drops", read=lambda e: str(e.overflows))
+    elif cls == "Discard":
+        add("count", read=lambda e: str(e.discarded))
+    elif cls in ("CheckIPHeader", "CheckTCPHeader", "CheckUDPHeader", "CheckICMPHeader"):
+        add("count", read=lambda e: str(e.checked))
+        add("bad", read=lambda e: str(e.bad))
+    elif cls == "DecIPTTL":
+        add("expired", read=lambda e: str(e.expired))
+    elif cls == "IPRewriter":
+        add("mappings", read=lambda e: str(e.table.entries))
+        add("new_flows", read=lambda e: str(e.new_flows))
+        add("rewrites", read=lambda e: str(e.rewrites))
+    elif cls == "RadixIPLookup":
+        add("nroutes", read=lambda e: str(e.trie.n_routes))
+        add("misses", read=lambda e: str(e.misses))
+        add(
+            "lookup",
+            read=None,
+            write=None,
+        )
+    elif cls == "VLANEncap":
+        add("count", read=lambda e: str(e.encapsulated))
+        add("vlan_tci", read=lambda e: str(e.param("vlan_tci")))
+    elif cls == "ARPResponder":
+        add("replies", read=lambda e: str(e.replies))
+    elif cls == "WorkPackage":
+        add("processed", read=lambda e: str(e.processed))
+        add("footprint", read=lambda e: str(e.footprint_bytes))
+    elif cls == "Print":
+        add("lines", read=lambda e: "\n".join(e.lines))
+    handlers = {k: v for k, v in handlers.items() if v.readable or v.writable}
+    return handlers
+
+
+class HandlerBroker:
+    """Resolve and call ``element.handler`` paths on a live graph."""
+
+    def __init__(self, graph: ProcessingGraph):
+        self.graph = graph
+
+    def _split(self, path: str):
+        if "." not in path:
+            raise HandlerError("handler path must be 'element.handler': %r" % path)
+        element_name, handler_name = path.rsplit(".", 1)
+        try:
+            element = self.graph.element(element_name)
+        except KeyError:
+            raise HandlerError("no element named %r" % element_name) from None
+        handlers = dict(_common_handlers(element))
+        handlers.update(_class_handlers(element))
+        try:
+            handler = handlers[handler_name]
+        except KeyError:
+            raise HandlerError(
+                "element %r (%s) has no handler %r; available: %s"
+                % (element_name, element.decl.class_name, handler_name,
+                   ", ".join(sorted(handlers)))
+            ) from None
+        return element, handler
+
+    def read(self, path: str) -> str:
+        element, handler = self._split(path)
+        if not handler.readable:
+            raise HandlerError("handler %r is not readable" % path)
+        return handler.read(element)
+
+    def write(self, path: str, value: str = "") -> None:
+        element, handler = self._split(path)
+        if not handler.writable:
+            raise HandlerError("handler %r is not writable" % path)
+        handler.write(element, value)
+
+    def list_handlers(self, element_name: str):
+        element = self.graph.element(element_name)
+        handlers = dict(_common_handlers(element))
+        handlers.update(_class_handlers(element))
+        return sorted(handlers)
+
+    def dump(self) -> str:
+        """A flatconfig-style dump of every element's readable handlers."""
+        lines = []
+        for name in sorted(self.graph.elements):
+            element = self.graph.elements[name]
+            lines.append("%s :: %s" % (name, element.decl.class_name))
+            handlers = dict(_common_handlers(element))
+            handlers.update(_class_handlers(element))
+            for hname in sorted(handlers):
+                handler = handlers[hname]
+                if handler.readable and hname not in ("class", "name", "config"):
+                    lines.append("  %s: %s" % (hname, handler.read(element)))
+        return "\n".join(lines)

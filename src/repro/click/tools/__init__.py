@@ -1,0 +1,20 @@
+"""Configuration-level tools from the Click optimization toolkit family."""
+
+from repro.click.tools.devirtualize import (
+    DevirtualizedSource,
+    ResolvedCall,
+    analyze,
+    devirtualize_config,
+)
+from repro.click.tools.flatten import flatten_config
+from repro.click.tools.undead import UndeadReport, remove_dead_elements
+
+__all__ = [
+    "DevirtualizedSource",
+    "ResolvedCall",
+    "UndeadReport",
+    "analyze",
+    "devirtualize_config",
+    "flatten_config",
+    "remove_dead_elements",
+]

@@ -1,0 +1,24 @@
+"""click-flatten: normalize a configuration to canonical flat form.
+
+Resolves inline/anonymous elements into explicit declarations and writes
+every connection as ``src[p] -> [q]dst;`` -- the canonical form the other
+toolkit passes consume, and a stable representation for diffing configs.
+"""
+
+from __future__ import annotations
+
+from repro.click.config import parse_config
+
+
+def flatten_config(config_text: str) -> str:
+    """Return the canonical flat form of a configuration."""
+    ast = parse_config(config_text)
+    lines = []
+    for name, decl in ast.declarations.items():
+        config = "(%s)" % decl.config if decl.config else ""
+        lines.append("%s :: %s%s;" % (name, decl.class_name, config))
+    for conn in ast.connections:
+        lines.append(
+            "%s[%d] -> [%d]%s;" % (conn.src, conn.src_port, conn.dst_port, conn.dst)
+        )
+    return "\n".join(lines)

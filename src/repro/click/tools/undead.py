@@ -1,0 +1,78 @@
+"""click-undead: remove elements that can never process a packet.
+
+Part of Kohler et al.'s Click optimization toolkit (§2.1): a config-to-
+config pass that deletes *dead* elements -- ones unreachable from any
+packet source -- and the connections touching them.  PacketMill's static
+graph benefits directly: dead elements would otherwise be embedded into
+the specialized binary.
+
+Reachability is forward from source elements (elements with no inputs
+that can emit packets, i.e. anything but pure sinks).  Elements that are
+declared but never wired, or wired only downstream of other dead
+elements, are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.click.config import parse_config
+from repro.click.config.ast import ConfigAst
+
+#: Classes that originate packets (graph entry points).
+SOURCE_CLASSES = frozenset({"FromDPDKDevice"})
+
+
+@dataclass
+class UndeadReport:
+    """Result of the dead-element elimination."""
+
+    original: ConfigAst
+    live: Set[str] = field(default_factory=set)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+    def config_text(self) -> str:
+        """The cleaned configuration."""
+        lines = []
+        for name, decl in self.original.declarations.items():
+            if name not in self.live:
+                continue
+            config = "(%s)" % decl.config if decl.config else ""
+            lines.append("%s :: %s%s;" % (name, decl.class_name, config))
+        for conn in self.original.connections:
+            if conn.src in self.live and conn.dst in self.live:
+                lines.append(
+                    "%s[%d] -> [%d]%s;"
+                    % (conn.src, conn.src_port, conn.dst_port, conn.dst)
+                )
+        return "\n".join(lines)
+
+
+def remove_dead_elements(config_text: str) -> UndeadReport:
+    """Run click-undead over a configuration."""
+    ast = parse_config(config_text)
+    report = UndeadReport(original=ast)
+    # Forward reachability from every source element.
+    sources = [
+        name
+        for name, decl in ast.declarations.items()
+        if decl.class_name in SOURCE_CLASSES
+    ]
+    frontier = list(sources)
+    live: Set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for _, dst, _ in ast.outputs_of(name):
+            if dst not in live:
+                frontier.append(dst)
+    report.live = live
+    report.removed = sorted(set(ast.declarations) - live)
+    return report

@@ -1,0 +1,200 @@
+"""The mini-IR: per-packet operations an element or driver executes.
+
+Every element contributes a straight-line :class:`Program` describing what
+it does to *one* packet: which metadata fields it loads/stores, how many
+packet-data bytes it reads, how much pure compute it burns, and which
+calls/branches it makes.  The optimization passes transform these programs
+(e.g. ``VirtualCall`` -> ``DirectCall`` -> inlined away) and the lowering
+step resolves symbolic field references into concrete (region, offset)
+memory operations against the active struct layouts.
+
+The op vocabulary mirrors what PacketMill's LLVM pass sees: loads/stores
+through ``getelementptr`` (FieldAccess), opaque compute, calls, and the
+pool/alloc intrinsics of DPDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+class Op:
+    """Base class for IR operations (purely for isinstance grouping)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Opaque ALU work: ``instructions`` issued, no memory traffic."""
+
+    instructions: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class FieldAccess(Op):
+    """Load/store of one struct field, resolved via the layout registry.
+
+    ``struct`` names a registered layout ("Packet", "rte_mbuf", "cqe", ...);
+    the *instance* accessed is identified at run time by ``target``:
+
+    - ``"packet_meta"``: the current packet's metadata buffer,
+    - ``"packet_mbuf"``: the current packet's underlying rte_mbuf,
+    - ``"descriptor"``: the current RX/TX descriptor slot.
+    """
+
+    struct: str
+    fieldname: str
+    write: bool = False
+    target: str = "packet_meta"
+
+
+@dataclass(frozen=True)
+class DataAccess(Op):
+    """Access to the packet's data buffer at a frame-relative offset."""
+
+    offset: int
+    size: int
+    write: bool = False
+
+
+@dataclass(frozen=True)
+class StateAccess(Op):
+    """Access to the element's own mutable state at a fixed offset."""
+
+    offset: int
+    size: int
+    write: bool = False
+
+
+@dataclass(frozen=True)
+class ParamRead(Op):
+    """Per-packet load of an element configuration parameter.
+
+    Constant embedding replaces these with immediates, eliminating both the
+    load and a little address arithmetic (``folded_instructions``).
+    """
+
+    param: str
+    offset: int
+    size: int = 8
+    folded_instructions: float = 2.0
+
+
+@dataclass(frozen=True)
+class VirtualCall(Op):
+    """Indirect call through a vtable/function pointer (graph traversal).
+
+    Costs an indirect-branch misprediction with probability ``miss_rate``
+    plus fixed call overhead.  Devirtualization turns it into
+    :class:`DirectCall`.
+    """
+
+    callee: str
+    miss_rate: float = 0.45
+    overhead_instructions: float = 8.0
+
+
+@dataclass(frozen=True)
+class DirectCall(Op):
+    """Direct call; LTO/static-graph inlining removes it entirely."""
+
+    callee: str
+    overhead_instructions: float = 4.0
+
+
+@dataclass(frozen=True)
+class BranchHint(Op):
+    """A data-dependent branch with the given misprediction probability."""
+
+    miss_rate: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class RandomAccess(Op):
+    """Uniform random access into a large working set (WorkPackage)."""
+
+    footprint: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class PoolOp(Op):
+    """DPDK mempool get/put: freelist pointer chase + bookkeeping."""
+
+    kind: str  # "get" | "put"
+    instructions: float = 60.0
+
+
+class Program:
+    """A named straight-line sequence of ops (one element's per-packet work)."""
+
+    def __init__(self, name: str, ops: Optional[Iterable[Op]] = None):
+        self.name = name
+        self.ops: List[Op] = list(ops) if ops is not None else []
+
+    def add(self, op: Op) -> "Program":
+        self.ops.append(op)
+        return self
+
+    def extend(self, ops: Iterable[Op]) -> "Program":
+        self.ops.extend(ops)
+        return self
+
+    def replaced(self, ops: Iterable[Op]) -> "Program":
+        return Program(self.name, ops)
+
+    def count(self, op_type) -> int:
+        return sum(1 for op in self.ops if isinstance(op, op_type))
+
+    def field_accesses(self, struct: Optional[str] = None) -> List[FieldAccess]:
+        return [
+            op
+            for op in self.ops
+            if isinstance(op, FieldAccess) and (struct is None or op.struct == struct)
+        ]
+
+    def access_counts(self, struct: str) -> dict:
+        """Reference count per field of ``struct`` -- the reordering pass input."""
+        counts: dict = {}
+        for op in self.field_accesses(struct):
+            counts[op.fieldname] = counts.get(op.fieldname, 0) + 1
+        return counts
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return "Program(%s, %d ops)" % (self.name, len(self.ops))
+
+
+def merge_access_counts(programs: Iterable[Program], struct: str) -> dict:
+    """Whole-program field reference counts, as LTO sees them."""
+    totals: dict = {}
+    for program in programs:
+        for name, count in program.access_counts(struct).items():
+            totals[name] = totals.get(name, 0) + count
+    return totals
+
+
+__all__ = [
+    "BranchHint",
+    "Compute",
+    "DataAccess",
+    "DirectCall",
+    "FieldAccess",
+    "Op",
+    "ParamRead",
+    "PoolOp",
+    "Program",
+    "RandomAccess",
+    "StateAccess",
+    "VirtualCall",
+    "merge_access_counts",
+]

@@ -1,0 +1,115 @@
+"""Static per-packet cost estimation (the paper's llvm-mca future-work item).
+
+Given a lowered :class:`~repro.compiler.lower.ExecProgram` and an assumed
+cache-locality profile, estimate the per-packet cost *without executing
+anything* -- the role ``llvm-mca`` plays in the paper's §5 list of future
+directions ("llvm-mca for performance estimation").
+
+The estimator mirrors the runtime cost model's arithmetic, so its error
+against a measured run comes only from the locality assumption.  That
+makes it useful for the same things mca is: comparing candidate
+optimizations (e.g. did reordering reduce estimated metadata lines?)
+before paying for a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.compiler.lower import ExecProgram
+
+#: Default steady-state locality assumption per access target: fraction of
+#: accesses served by (l1, l2, llc); the DRAM share is the remainder.
+DEFAULT_LOCALITY: Dict[str, tuple] = {
+    "packet_meta": (0.90, 0.10, 0.00),
+    "packet_mbuf": (0.30, 0.65, 0.05),
+    "descriptor": (0.20, 0.20, 0.60),   # CQEs/WQEs arrive via DDIO
+    "data": (0.55, 0.15, 0.30),         # prefetched frame bytes
+    "state": (0.95, 0.05, 0.00),
+}
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Static estimate of one program's per-packet cost."""
+
+    name: str
+    instructions: float
+    issue_cycles: float
+    stall_cycles: float
+    uncore_ns: float
+
+    def cycles(self, freq_ghz: float) -> float:
+        return self.issue_cycles + self.stall_cycles + self.uncore_ns * freq_ghz
+
+    def ns(self, freq_ghz: float) -> float:
+        return (self.issue_cycles + self.stall_cycles) / freq_ghz + self.uncore_ns
+
+    def ipc(self, freq_ghz: float) -> float:
+        total = self.cycles(freq_ghz)
+        return self.instructions / total if total else 0.0
+
+
+def estimate(program: ExecProgram, params,
+             locality: Mapping[str, tuple] = None) -> CostEstimate:
+    """Estimate one program's steady-state per-packet cost."""
+    locality = dict(DEFAULT_LOCALITY, **(locality or {}))
+    issue = program.instructions / params.issue_ipc
+    stalls = program.branch_miss_expect * params.branch_miss_cycles
+    uncore = 0.0
+    for op in program.mem_ops:
+        try:
+            p_l1, p_l2, p_llc = locality[op.target]
+        except KeyError:
+            raise KeyError("no locality assumption for target %r" % op.target) from None
+        p_dram = max(0.0, 1.0 - p_l1 - p_l2 - p_llc)
+        lines = max(1, (op.size + params.cache_line - 1) // params.cache_line)
+        stalls += lines * (p_l1 * params.l1_hit_cycles + p_l2 * params.l2_hit_cycles)
+        uncore += lines * (
+            p_llc * params.llc_hit_ns + p_dram * params.dram_ns
+        ) / params.mlp
+    for footprint, count in program.random_ops:
+        p_l1 = min(1.0, (params.l1_size // 2) / footprint) if footprint else 1.0
+        p_l2 = max(0.0, min(1.0, int(params.l2_size * 0.75) / footprint) - p_l1) if footprint else 0.0
+        p_llc = max(0.0, min(1.0, (14 * 1024 * 1024) / footprint) - p_l1 - p_l2) if footprint else 0.0
+        p_dram = max(0.0, 1.0 - p_l1 - p_l2 - p_llc)
+        stalls += count * (p_l1 * params.l1_hit_cycles + p_l2 * params.l2_hit_cycles)
+        uncore += count * (
+            p_llc * params.llc_hit_ns + p_dram * params.dram_ns
+        ) / params.random_access_mlp
+    return CostEstimate(
+        name=program.name,
+        instructions=program.instructions,
+        issue_cycles=issue,
+        stall_cycles=stalls,
+        uncore_ns=uncore,
+    )
+
+
+def estimate_pipeline(programs: Iterable[ExecProgram], params,
+                      locality: Mapping[str, tuple] = None) -> CostEstimate:
+    """Aggregate estimate for a whole pipeline (sum of element programs)."""
+    totals = CostEstimate("pipeline", 0.0, 0.0, 0.0, 0.0)
+    instructions = issue = stalls = uncore = 0.0
+    for program in programs:
+        part = estimate(program, params, locality)
+        instructions += part.instructions
+        issue += part.issue_cycles
+        stalls += part.stall_cycles
+        uncore += part.uncore_ns
+    return CostEstimate("pipeline", instructions, issue, stalls, uncore)
+
+
+def compare(before: CostEstimate, after: CostEstimate, freq_ghz: float) -> str:
+    """A small mca-style report of an optimization's estimated effect."""
+    b, a = before.ns(freq_ghz), after.ns(freq_ghz)
+    delta = (b - a) / b * 100 if b else 0.0
+    return (
+        "estimated per-packet cost @%.1f GHz: %.1f ns -> %.1f ns (%.1f%%)\n"
+        "  instructions: %.0f -> %.0f\n"
+        "  uncore ns:    %.1f -> %.1f"
+        % (freq_ghz, b, a, delta,
+           before.instructions, after.instructions,
+           before.uncore_ns, after.uncore_ns)
+    )

@@ -1,0 +1,35 @@
+"""PacketMill's optimization passes over the mini-IR.
+
+Each pass is a pure function ``Program -> Program`` (or, for whole-program
+passes, operates on all programs plus the layout registry), mirroring the
+paper's §3.2 pipeline:
+
+- :func:`devirtualize` -- click-devirtualize: indirect calls become direct.
+- :func:`embed_constants` -- constant embedding: per-packet parameter loads
+  fold into immediates; dependent dead code disappears.
+- :func:`inline_calls` -- static graph / LTO: direct calls inline away.
+- :func:`eliminate_dead_code` -- drop compute marked as unreachable for the
+  configured element parameters.
+- :func:`reorder_metadata` -- the custom LLVM-LTO pass: sort the metadata
+  struct's fields by whole-program access count.
+"""
+
+from repro.compiler.passes.transforms import (
+    devirtualize,
+    eliminate_dead_code,
+    embed_constants,
+    inline_calls,
+    profile_guided,
+    vectorize,
+)
+from repro.compiler.passes.reorder import reorder_metadata
+
+__all__ = [
+    "devirtualize",
+    "eliminate_dead_code",
+    "embed_constants",
+    "inline_calls",
+    "profile_guided",
+    "reorder_metadata",
+    "vectorize",
+]

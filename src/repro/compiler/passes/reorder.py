@@ -1,0 +1,50 @@
+"""The metadata struct-field reordering pass (the paper's LLVM-LTO pass).
+
+Operating on the whole program (all elements' IR at once, as LTO sees it),
+the pass counts references to each field of the target metadata struct,
+produces a layout sorted by descending access count, and swaps it into the
+registry so that lowering resolves every ``getelementptr``-equivalent
+against the new offsets.
+
+Like the paper's prototype, it refuses to reorder structs whose layout is
+shared with hardware or with code outside the visible program: only the
+application-owned metadata struct (FastClick's ``Packet``) is safe, and
+only under the Copying model, where the struct does not overlay DPDK's
+``rte_mbuf``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.compiler.ir import Program, merge_access_counts
+from repro.compiler.structlayout import LayoutRegistry, StructLayout
+
+#: Structs whose layout is an ABI with hardware or with non-visible code.
+HARDWARE_OWNED = frozenset({"rte_mbuf", "cqe", "tx_descriptor", "rx_descriptor"})
+
+
+class ReorderError(ValueError):
+    """Raised when reordering a struct would break correctness."""
+
+
+def reorder_metadata(
+    programs: Iterable[Program],
+    registry: LayoutRegistry,
+    struct: str = "Packet",
+) -> StructLayout:
+    """Reorder ``struct``'s fields by whole-program access count.
+
+    Mutates ``registry`` (the active layout is replaced) and returns the
+    new layout.  Raises :class:`ReorderError` for hardware-owned structs.
+    """
+    if struct in HARDWARE_OWNED:
+        raise ReorderError(
+            "struct %r exchanges data with hardware; reordering would break "
+            "the DMA descriptor format" % struct
+        )
+    counts = merge_access_counts(list(programs), struct)
+    layout = registry.get(struct)
+    new_layout = layout.reordered(counts)
+    registry.replace(struct, new_layout)
+    return new_layout

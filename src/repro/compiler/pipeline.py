@@ -1,0 +1,126 @@
+"""Pass manager: ordered, observable application of the IR passes.
+
+LLVM's pass-manager discipline, miniaturized: passes run in a declared
+order, each application is recorded (op/instruction deltas), and the
+whole pipeline can be rendered as a report -- which is how the examples
+and tests show *what the mill actually did* to each element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.compiler.ir import Compute, Program
+from repro.compiler.passes import (
+    devirtualize,
+    eliminate_dead_code,
+    embed_constants,
+    inline_calls,
+    profile_guided,
+    vectorize,
+)
+
+PassFn = Callable[[Program], Program]
+
+
+def _instruction_count(program: Program) -> float:
+    total = 0.0
+    for op in program.ops:
+        if isinstance(op, Compute):
+            total += op.instructions
+    return total
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One pass applied to one program."""
+
+    pass_name: str
+    program_name: str
+    ops_before: int
+    ops_after: int
+    compute_before: float
+    compute_after: float
+
+    @property
+    def removed_ops(self) -> int:
+        return self.ops_before - self.ops_after
+
+    @property
+    def changed(self) -> bool:
+        return (
+            self.removed_ops != 0 or self.compute_before != self.compute_after
+        )
+
+
+@dataclass
+class PassManager:
+    """Apply a named pass sequence, recording every application."""
+
+    passes: List[Tuple[str, PassFn]] = field(default_factory=list)
+    records: List[PassRecord] = field(default_factory=list)
+
+    def add(self, name: str, fn: PassFn) -> "PassManager":
+        self.passes.append((name, fn))
+        return self
+
+    def run(self, program: Program) -> Program:
+        for name, fn in self.passes:
+            before_ops = len(program)
+            before_compute = _instruction_count(program)
+            program = fn(program)
+            self.records.append(
+                PassRecord(
+                    pass_name=name,
+                    program_name=program.name,
+                    ops_before=before_ops,
+                    ops_after=len(program),
+                    compute_before=before_compute,
+                    compute_after=_instruction_count(program),
+                )
+            )
+        return program
+
+    def run_all(self, programs: Sequence[Program]) -> List[Program]:
+        return [self.run(program) for program in programs]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self, only_changed: bool = True) -> str:
+        lines = ["pass pipeline: " + " -> ".join(name for name, _ in self.passes)]
+        for record in self.records:
+            if only_changed and not record.changed:
+                continue
+            lines.append(
+                "  %-18s %-22s ops %d -> %d, compute %.0f -> %.0f"
+                % (record.pass_name, record.program_name,
+                   record.ops_before, record.ops_after,
+                   record.compute_before, record.compute_after)
+            )
+        return "\n".join(lines)
+
+    def total_removed_ops(self) -> int:
+        return sum(record.removed_ops for record in self.records)
+
+    @classmethod
+    def from_options(cls, options, driver_code: bool = False) -> "PassManager":
+        """The pipeline PacketMill runs for the given build options.
+
+        ``driver_code`` selects the PMD-side pipeline, which additionally
+        vectorizes (SIMD batch conversion applies to driver loops, not to
+        element code).
+        """
+        manager = cls()
+        if options.devirtualize or options.static_graph:
+            manager.add("devirtualize", devirtualize)
+        if options.constant_embedding:
+            manager.add("embed-constants", embed_constants)
+            manager.add("dead-code", eliminate_dead_code)
+        if options.static_graph or options.lto:
+            manager.add("inline", inline_calls)
+        if driver_code and getattr(options, "vectorized_pmd", False):
+            manager.add("vectorize", vectorize)
+        if getattr(options, "pgo", False):
+            manager.add("pgo", profile_guided)
+        return manager

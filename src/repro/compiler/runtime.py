@@ -1,0 +1,63 @@
+"""Execution of lowered cost programs against the hardware model.
+
+:func:`execute` charges one packet's worth of an :class:`ExecProgram` to a
+:class:`~repro.hw.cpu.CpuCore`: issue bandwidth for the instruction count,
+expected branch-miss penalties, and one cache-hierarchy access per memory
+op, with the op's target tag resolved to a concrete base address through
+the supplied :class:`Bindings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.lower import (
+    TARGET_DATA,
+    TARGET_DESCRIPTOR,
+    TARGET_PACKET_MBUF,
+    TARGET_PACKET_META,
+    TARGET_STATE,
+    ExecProgram,
+)
+
+
+@dataclass
+class Bindings:
+    """Base addresses the per-packet program's targets resolve to."""
+
+    packet_meta: int = 0
+    packet_mbuf: int = 0
+    descriptor: int = 0
+    data: int = 0
+    state: int = 0
+
+    def base_of(self, target: str) -> int:
+        if target == TARGET_PACKET_META:
+            return self.packet_meta
+        if target == TARGET_PACKET_MBUF:
+            return self.packet_mbuf
+        if target == TARGET_DESCRIPTOR:
+            return self.descriptor
+        if target == TARGET_DATA:
+            return self.data
+        if target == TARGET_STATE:
+            return self.state
+        raise ValueError("unknown target %r" % target)
+
+
+def execute(cpu, program: ExecProgram, bindings: Bindings) -> None:
+    """Charge one packet's execution of ``program`` to ``cpu``.
+
+    Instruction counts for memory/pool ops were already folded into
+    ``program.instructions`` during lowering, so the accesses themselves
+    charge latency only.
+    """
+    cpu.charge_compute(program.instructions)
+    if program.branch_miss_expect:
+        cpu.charge_branch_miss(program.branch_miss_expect)
+    for op in program.mem_ops:
+        base = bindings.base_of(op.target)
+        cpu.mem_access(base + op.offset, op.size, op.write, instructions=0.0)
+    for footprint, count in program.random_ops:
+        for _ in range(count):
+            cpu.random_access(footprint, instructions=0.0)

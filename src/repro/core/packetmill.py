@@ -1,0 +1,214 @@
+"""PacketMill: grind a network-function configuration into a specialized
+binary (the paper's Fig. 3 pipeline).
+
+Stages, mirroring the figure:
+
+1. **Parse** the Click configuration into a processing graph.
+2. **Source-code modifications**: devirtualization (click-devirtualize),
+   constant embedding, and static graph embedding, expressed as IR passes
+   over each element's per-packet program plus the dispatch policy.
+3. **Metadata customization**: pick the metadata model; X-Change wires the
+   PMD's conversion functions into the application's Packet struct.
+4. **IR-code modifications** (LTO): inline the conversion/call overhead
+   and optionally run the struct-field reordering pass over the whole
+   program's access counts.
+5. **Link** everything into a :class:`SpecializedBinary` bound to a core,
+   NIC(s), and the hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.click.driver import (
+    DISPATCH_DIRECT,
+    DISPATCH_INLINE,
+    DISPATCH_VIRTUAL,
+    DispatchPolicy,
+    RouterDriver,
+)
+from repro.click.graph import ProcessingGraph
+from repro.compiler.lower import lower
+from repro.compiler.passes import reorder_metadata
+from repro.compiler.structlayout import LayoutRegistry
+from repro.core.binary import SpecializedBinary
+from repro.core.options import BuildOptions, MetadataModel
+from repro.dpdk.metadata import CopyingModel, OverlayingModel, XChangeModel
+from repro.dpdk.nic import Nic
+from repro.dpdk.tinynf import TinyNfModel
+from repro.dpdk.pmd import MlxPmd
+from repro.dpdk.xchg_api import fastclick_conversions
+from repro.hw.cpu import CpuCore
+from repro.hw.layout import AddressSpace
+from repro.hw.memory import MemorySystem
+from repro.hw.params import DEFAULT_PARAMS, MachineParams
+from repro.net.trace import CampusTraceGenerator, TraceSpec
+
+TraceFactory = Callable[[int, int], object]  # (port, core) -> trace generator
+
+
+class BuildError(RuntimeError):
+    """The requested build cannot be assembled."""
+
+
+def _default_trace_factory(port: int, core: int):
+    return CampusTraceGenerator(TraceSpec(seed=101 + 13 * port + 7 * core))
+
+
+class PacketMill:
+    """Builds specialized binaries for a Click configuration."""
+
+    def __init__(
+        self,
+        config: str,
+        options: Optional[BuildOptions] = None,
+        params: Optional[MachineParams] = None,
+        trace: Union[None, object, TraceFactory] = None,
+        seed: int = 0,
+        burst: Optional[int] = None,
+    ):
+        self.config = config
+        self.options = options or BuildOptions.vanilla()
+        self.params = params or DEFAULT_PARAMS
+        self.seed = seed
+        self.burst = burst or self.options.burst
+        if trace is None:
+            self._trace_factory: TraceFactory = _default_trace_factory
+        elif callable(trace) and not hasattr(trace, "next_packet"):
+            self._trace_factory = trace
+        else:
+            self._trace_factory = lambda port, core: trace
+
+    # -- model / policy selection ---------------------------------------------------
+
+    def _make_model(self):
+        model = self.options.metadata_model
+        if model is MetadataModel.COPYING:
+            return CopyingModel()
+        if model is MetadataModel.OVERLAYING:
+            return OverlayingModel()
+        if model is MetadataModel.TINYNF:
+            return TinyNfModel()
+        return XChangeModel(conversions=fastclick_conversions())
+
+    def _dispatch_policy(self) -> DispatchPolicy:
+        options = self.options
+        if options.static_graph:
+            return DispatchPolicy(mode=DISPATCH_INLINE, static_segment=True)
+        if options.devirtualize:
+            return DispatchPolicy(mode=DISPATCH_DIRECT, static_segment=False)
+        return DispatchPolicy(mode=DISPATCH_VIRTUAL, static_segment=False)
+
+    def _element_pass_manager(self):
+        from repro.compiler.pipeline import PassManager
+
+        return PassManager.from_options(self.options)
+
+    # -- build ------------------------------------------------------------------------
+
+    def build(self) -> SpecializedBinary:
+        """Build a single-core binary."""
+        mem = MemorySystem(self.params, n_cores=1, seed=self.seed)
+        return self._build_core(mem, core_id=0)
+
+    def build_multicore(self, n_cores: int) -> List[SpecializedBinary]:
+        """Build per-core replicas sharing one memory system (RSS model).
+
+        Each core runs its own graph replica and polls its own NIC queue;
+        RSS keeps flows core-local, which the per-core trace seeds model.
+        """
+        if n_cores < 1:
+            raise BuildError("need at least one core")
+        mem = MemorySystem(self.params, n_cores=n_cores, seed=self.seed)
+        return [self._build_core(mem, core_id=c) for c in range(n_cores)]
+
+    def _build_core(self, mem: MemorySystem, core_id: int) -> SpecializedBinary:
+        options = self.options
+        params = self.params
+        graph = ProcessingGraph.from_text(self.config)
+        cpu = CpuCore(params, mem, core_id)
+        # Disjoint per-core address ranges: replicas share the LLC but must
+        # not alias each other's lines.
+        space = AddressSpace(seed=self.seed + core_id, offset=core_id << 36)
+        registry = LayoutRegistry()
+
+        model = self._make_model()
+        if options.reorder_metadata and not model.reorder_allowed:
+            raise BuildError(
+                "metadata model %r does not allow struct reordering" % model.name
+            )
+        if not model.supports_buffering:
+            holders = [
+                e.name for e in graph.all_elements()
+                if getattr(e, "buffers_packets", False)
+            ]
+            if holders:
+                raise BuildError(
+                    "metadata model %r cannot buffer packets, but the "
+                    "configuration holds them in: %s (the TinyNF "
+                    "restriction the paper contrasts X-Change against)"
+                    % (model.name, ", ".join(holders))
+                )
+        model.setup(space, params)
+        model.register_layouts(registry)
+
+        # -- element state allocation (static graph vs. scattered heap) -----
+        elements = graph.all_elements()
+        for element in elements:
+            size = max(64, element.state_size)
+            if options.static_graph:
+                element.state_region = space.alloc_static(element.name, size)
+            else:
+                element.state_region = space.alloc_heap(element.name, size)
+
+        # -- IR passes over the whole program ---------------------------------
+        pass_manager = self._element_pass_manager()
+        element_ir = {e.name: pass_manager.run(e.ir_program()) for e in elements}
+        if options.reorder_metadata:
+            whole_program = list(element_ir.values()) + [
+                model.rx_program(), model.tx_program(),
+            ]
+            reorder_metadata(whole_program, registry, struct="Packet")
+
+        exec_programs = {
+            name: lower(program, registry) for name, program in element_ir.items()
+        }
+
+        # -- NICs and PMDs (one queue per port on this core) -------------------
+        ports = sorted(
+            {e.param("port") for e in graph.by_class("FromDPDKDevice")}
+            | {e.param("port") for e in graph.by_class("ToDPDKDevice")}
+        )
+        if not ports:
+            raise BuildError("configuration uses no DPDK ports")
+        pmds: Dict[int, MlxPmd] = {}
+        for port in ports:
+            trace = self._trace_factory(port, core_id)
+            nic = Nic(params, mem, space, trace, name="nic%d_c%d" % (port, core_id))
+            pmds[port] = MlxPmd(
+                nic, model, cpu, registry,
+                lto=options.lto,
+                vectorized=options.vectorized_pmd,
+                pgo=options.pgo,
+            )
+
+        dispatch = self._dispatch_policy()
+        driver = RouterDriver(
+            graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst
+        )
+        binary = SpecializedBinary(
+            options=options,
+            params=params,
+            graph=graph,
+            driver=driver,
+            cpu=cpu,
+            mem=mem,
+            space=space,
+            pmds=pmds,
+            registry=registry,
+            exec_programs=exec_programs,
+            trace=pmds[ports[0]].nic.trace,
+            model=model,
+        )
+        binary.pass_manager = pass_manager
+        return binary

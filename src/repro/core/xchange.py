@@ -1,0 +1,34 @@
+"""X-Change, from the application's point of view.
+
+The mechanics live in :mod:`repro.dpdk.xchg_api` (the API is part of DPDK,
+as in the paper); this module re-exports them and provides the wiring
+helper PacketMill uses: build an :class:`~repro.dpdk.metadata.XChangeModel`
+whose conversion functions write directly into FastClick's ``Packet``.
+"""
+
+from __future__ import annotations
+
+from repro.dpdk.metadata import XChangeModel
+from repro.dpdk.xchg_api import (
+    RX_METADATA_ITEMS,
+    TX_METADATA_ITEMS,
+    ConversionSet,
+    fastclick_conversions,
+    minimal_conversions,
+    standard_dpdk_conversions,
+)
+
+__all__ = [
+    "ConversionSet",
+    "RX_METADATA_ITEMS",
+    "TX_METADATA_ITEMS",
+    "fastclick_conversions",
+    "make_fastclick_xchange",
+    "minimal_conversions",
+    "standard_dpdk_conversions",
+]
+
+
+def make_fastclick_xchange(meta_buffers: int = 64) -> XChangeModel:
+    """The PacketMill configuration: X-Change with FastClick conversions."""
+    return XChangeModel(conversions=fastclick_conversions(), meta_buffers=meta_buffers)

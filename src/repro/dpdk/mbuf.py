@@ -1,0 +1,124 @@
+"""DPDK mbuf layouts and buffer references.
+
+Each mbuf is laid out as in DPDK: a 128-byte (two cache line) ``rte_mbuf``
+metadata struct, a fixed headroom, and the data room the NIC DMAs frames
+into.  The ``rte_mbuf`` field list below follows DPDK v20.02's
+``rte_mbuf_core.h`` closely enough that the struct spans exactly the same
+lines: the hot RX fields sit in cache line 0, the TX/chaining fields in
+cache line 1.
+
+The MLX5 completion-queue entry (CQE) and TX WQE layouts model the
+driver-owned descriptors the PMD converts to and from -- these are
+hardware ABI and therefore off-limits to the reordering pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.structlayout import Field, StructLayout
+
+RTE_MBUF_SIZE = 128
+MBUF_HEADROOM = 128
+MBUF_DATA_ROOM = 2048
+CQE_SIZE = 64
+TX_WQE_SIZE = 64
+
+
+def build_mbuf_layout() -> StructLayout:
+    """The generic ``rte_mbuf`` struct (two cache lines)."""
+    return StructLayout(
+        "rte_mbuf",
+        [
+            # -- cache line 0: RX-hot fields -------------------------------
+            Field("buf_addr", 8),
+            Field("buf_iova", 8),
+            Field("data_off", 2),
+            Field("refcnt", 2),
+            Field("nb_segs", 2),
+            Field("port", 2),
+            Field("ol_flags", 8),
+            Field("packet_type", 4),
+            Field("pkt_len", 4),
+            Field("data_len", 2),
+            Field("vlan_tci", 2),
+            Field("rss_hash", 4),
+            Field("vlan_tci_outer", 2),
+            Field("buf_len", 2),
+            Field("timestamp", 8),
+            # -- cache line 1: TX / chaining fields -------------------------
+            Field("next", 8, align=64),
+            Field("tx_offload", 8),
+            Field("pool", 8),
+            Field("shinfo", 8),
+            Field("priv_size", 2),
+            Field("timesync", 2),
+            Field("dynfield1", 12),
+        ],
+        min_size=RTE_MBUF_SIZE,
+    )
+
+
+def build_cqe_layout() -> StructLayout:
+    """MLX5 RX completion-queue entry (one cache line, hardware-owned)."""
+    return StructLayout(
+        "cqe",
+        [
+            Field("packet_info", 4),
+            Field("rx_hash_result", 4),
+            Field("hdr_type_etc", 2),
+            Field("vlan_info", 2),
+            Field("lro_fields", 8),
+            Field("flow_table_metadata", 4),
+            Field("byte_cnt", 4),
+            Field("timestamp", 8),
+            Field("wqe_counter", 2),
+            Field("validity", 1),
+            Field("op_own", 1),
+        ],
+        min_size=CQE_SIZE,
+    )
+
+
+def build_tx_descriptor_layout() -> StructLayout:
+    """MLX5 TX work-queue entry (hardware-owned)."""
+    return StructLayout(
+        "tx_descriptor",
+        [
+            Field("ctrl_opcode", 4),
+            Field("ctrl_qpn_ds", 4),
+            Field("ctrl_flags", 4),
+            Field("ctrl_imm", 4),
+            Field("eseg_checksum", 4),
+            Field("eseg_mss_inline", 4),
+            Field("dseg_byte_count", 4),
+            Field("dseg_lkey", 4),
+            Field("dseg_addr", 8),
+        ],
+        min_size=TX_WQE_SIZE,
+    )
+
+
+@dataclass
+class BufferRef:
+    """The concrete addresses backing one in-flight packet.
+
+    ``meta_addr`` is where the *application-visible* metadata struct lives:
+    inside the mbuf for Overlaying, in the app's Packet pool for Copying,
+    in the app-provided X-Change buffer for X-Change.
+    """
+
+    index: int
+    mbuf_addr: int
+    data_addr: int
+    meta_addr: int = 0
+    cqe_addr: int = 0
+
+    def with_meta(self, meta_addr: int) -> "BufferRef":
+        return BufferRef(
+            index=self.index,
+            mbuf_addr=self.mbuf_addr,
+            data_addr=self.data_addr,
+            meta_addr=meta_addr,
+            cqe_addr=self.cqe_addr,
+        )

@@ -1,0 +1,86 @@
+"""The NIC hardware model (ConnectX-5 class).
+
+The NIC side of packet I/O is free for the CPU but not for the memory
+system: received frames and their completion-queue entries are DMA-written
+through DDIO into the LLC, and transmitted frames are DMA-read out of it.
+Under saturation the NIC always has a frame ready for every posted RX
+buffer, which is how the throughput experiments drive the device under
+test; open-loop arrival timing for the latency experiments is layered on
+top by :mod:`repro.perf.loadlatency`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dpdk.mbuf import CQE_SIZE, TX_WQE_SIZE, BufferRef
+from repro.dpdk.ring import DescriptorRing
+from repro.net.packet import Packet
+
+
+class Nic:
+    """One port of the simulated NIC, driven by a trace source."""
+
+    def __init__(self, params, mem, space, trace, name: str = "nic0"):
+        self.params = params
+        self.mem = mem
+        self.trace = trace
+        self.name = name
+        self.rx_ring = DescriptorRing(space, params.rx_ring_size, 16, name + "_rxwq")
+        self.cq = DescriptorRing(space, params.rx_ring_size, CQE_SIZE, name + "_cq")
+        self.tx_ring = DescriptorRing(space, params.tx_ring_size, TX_WQE_SIZE, name + "_txwq")
+        self._cq_index = 0
+        self.rx_delivered = 0
+        self.tx_sent = 0
+        self.tx_bytes = 0
+
+    # -- RX side --------------------------------------------------------------
+
+    def post_rx(self, ref: BufferRef) -> None:
+        """PMD posts an empty buffer for the NIC to fill."""
+        self.rx_ring.push(ref)
+
+    @property
+    def rx_posted(self) -> int:
+        return self.rx_ring.count
+
+    def deliver(self, max_n: int) -> List[Tuple[BufferRef, Packet]]:
+        """Hardware receive: DMA up to ``max_n`` frames into posted buffers.
+
+        Each delivery DMA-writes the frame into the buffer's data room and
+        a CQE into the completion queue (both via DDIO), then hands
+        (buffer, packet) to the PMD.
+        """
+        out = []
+        for _ in range(max_n):
+            if self.rx_ring.is_empty():
+                break
+            _, ref = self.rx_ring.pop()
+            pkt = self.trace.next_packet()
+            pkt.port = 0
+            self.mem.dma_write(ref.data_addr, len(pkt))
+            cqe_addr = self.cq.slot_addr(self._cq_index)
+            self._cq_index += 1
+            self.mem.dma_write(cqe_addr, CQE_SIZE)
+            ref.cqe_addr = cqe_addr
+            self.rx_delivered += 1
+            out.append((ref, pkt))
+        return out
+
+    # -- TX side ----------------------------------------------------------------
+
+    def transmit(self, ref: BufferRef, frame_len: int) -> int:
+        """Hardware transmit: DMA-read the frame; returns the WQE slot addr."""
+        slot = self.tx_ring.push(ref)
+        self.mem.dma_read(ref.data_addr, frame_len)
+        self.tx_sent += 1
+        self.tx_bytes += frame_len
+        return self.tx_ring.slot_addr(slot)
+
+    def reap_tx(self, threshold: int) -> List[BufferRef]:
+        """Return buffers whose transmission completed (ring past threshold)."""
+        done = []
+        while self.tx_ring.count > threshold:
+            _, ref = self.tx_ring.pop()
+            done.append(ref)
+        return done

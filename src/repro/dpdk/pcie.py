@@ -1,0 +1,40 @@
+"""PCIe 3.0 x16 bandwidth model.
+
+Frames cross PCIe once per direction (RX DMA in, TX DMA out), split into
+256-byte TLPs with per-TLP header overhead, plus one descriptor write per
+packet.  This is the standard model from Neugebauer et al. (SIGCOMM'18),
+which the paper cites for its observation that pps falls past ~800-B
+frames because PCIe -- not the 100-Gbps MAC -- becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+TLP_PAYLOAD = 256
+TLP_OVERHEAD = 26  # TLP header + DLLP share + framing
+DESCRIPTOR_BYTES = 64
+
+
+class PcieModel:
+    """Per-direction PCIe capacity for a forwarding workload."""
+
+    def __init__(self, params):
+        self.params = params
+
+    def bytes_on_wire(self, frame_len: int) -> float:
+        """PCIe bytes one frame consumes in one direction."""
+        import math
+
+        tlps = math.ceil(frame_len / TLP_PAYLOAD)
+        return frame_len + tlps * TLP_OVERHEAD + DESCRIPTOR_BYTES
+
+    def pps_limit(self, frame_len: int) -> float:
+        """Max packets/s one direction of the link can DMA."""
+        per_packet_bits = self.bytes_on_wire(frame_len) * 8
+        bw_pps = self.params.pcie_gbps * 1e9 / per_packet_bits
+        # Small packets additionally bound by per-packet doorbell/DMA setup.
+        latency_pps = 1e9 / self.params.pcie_per_packet_ns
+        return min(bw_pps, latency_pps)
+
+    def goodput_gbps(self, frame_len: int) -> float:
+        """Max achievable goodput through PCIe at this frame size."""
+        return self.pps_limit(frame_len) * frame_len * 8 / 1e9

@@ -1,0 +1,65 @@
+"""Fixed-size descriptor rings (RX completion queue, TX work queue)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.layout import AddressSpace
+
+
+class DescriptorRing:
+    """A circular ring of fixed-size descriptor slots in DMA memory.
+
+    The ring only tracks occupancy and slot addresses; the *contents* of
+    descriptors are modelled by the IR programs that read/write them.
+    """
+
+    def __init__(self, space: AddressSpace, size: int, slot_size: int, name: str):
+        if size < 1 or size & (size - 1):
+            raise ValueError("ring size must be a positive power of two")
+        self.size = size
+        self.slot_size = slot_size
+        self.region = space.alloc_dma(name, size * slot_size)
+        self._entries: List[Optional[object]] = [None] * size
+        self.head = 0  # consumer index
+        self.tail = 0  # producer index
+        self.count = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.region.base + (index % self.size) * self.slot_size
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - self.count
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def is_full(self) -> bool:
+        return self.count == self.size
+
+    def push(self, entry) -> int:
+        """Produce one entry; returns the slot index used."""
+        if self.is_full():
+            raise OverflowError("ring full")
+        index = self.tail % self.size
+        self._entries[index] = entry
+        self.tail += 1
+        self.count += 1
+        return index
+
+    def pop(self):
+        """Consume the oldest entry; returns (slot_index, entry)."""
+        if self.is_empty():
+            raise IndexError("ring empty")
+        index = self.head % self.size
+        entry = self._entries[index]
+        self._entries[index] = None
+        self.head += 1
+        self.count -= 1
+        return index, entry
+
+    def peek(self):
+        if self.is_empty():
+            raise IndexError("ring empty")
+        return self._entries[self.head % self.size]

@@ -1,0 +1,102 @@
+"""The X-Change API: conversion functions between driver and application.
+
+X-Change replaces the PMD's direct ``rte_mbuf`` stores with calls to
+``xchg_set_*`` conversion functions (the paper's Listing 1).  DPDK ships a
+*standard implementation* that writes into the ``rte_mbuf`` -- full
+backward compatibility -- while an application may link its own
+implementation that writes straight into its metadata struct (Listing 2).
+
+:class:`ConversionSet` captures one such implementation: which struct and
+field each conversion function targets.  :func:`standard_dpdk_conversions`
+is the compatibility set; :func:`fastclick_conversions` is FastClick's
+custom set used by PacketMill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Driver-side metadata items the MLX5 RX path produces, in CQE order.
+RX_METADATA_ITEMS = (
+    "buffer", "data_ptr", "length", "flags", "vlan_tci", "rss_hash", "timestamp",
+)
+
+#: Items the TX path consumes.
+TX_METADATA_ITEMS = ("data_ptr", "length", "flags")
+
+
+@dataclass(frozen=True)
+class ConversionSet:
+    """One implementation of the xchg_* conversion functions.
+
+    ``targets`` maps each metadata item to the (struct, field) the
+    conversion writes/reads, e.g. ``"vlan_tci" -> ("Packet", "vlan_anno")``.
+    """
+
+    name: str
+    targets: Dict[str, Tuple[str, str]]
+
+    def target_of(self, item: str) -> Tuple[str, str]:
+        try:
+            return self.targets[item]
+        except KeyError:
+            raise KeyError(
+                "conversion set %r does not define xchg handling for %r"
+                % (self.name, item)
+            ) from None
+
+    def setter_name(self, item: str) -> str:
+        return "xchg_set_%s" % item
+
+    def getter_name(self, item: str) -> str:
+        return "xchg_get_%s" % item
+
+    def struct_names(self) -> set:
+        return {struct for struct, _ in self.targets.values()}
+
+
+def standard_dpdk_conversions() -> ConversionSet:
+    """The backward-compatible implementation DPDK compiles by default:
+    every conversion resolves to the generic ``rte_mbuf`` field."""
+    return ConversionSet(
+        name="standard-dpdk",
+        targets={
+            "buffer": ("rte_mbuf", "buf_addr"),
+            "data_ptr": ("rte_mbuf", "data_off"),
+            "length": ("rte_mbuf", "data_len"),
+            "flags": ("rte_mbuf", "ol_flags"),
+            "vlan_tci": ("rte_mbuf", "vlan_tci"),
+            "rss_hash": ("rte_mbuf", "rss_hash"),
+            "timestamp": ("rte_mbuf", "timestamp"),
+        },
+    )
+
+
+def fastclick_conversions() -> ConversionSet:
+    """FastClick's custom implementation: conversions write directly into
+    the application's ``Packet`` struct, bypassing ``rte_mbuf`` entirely."""
+    return ConversionSet(
+        name="fastclick",
+        targets={
+            "buffer": ("Packet", "buffer"),
+            "data_ptr": ("Packet", "data_ptr"),
+            "length": ("Packet", "length"),
+            "flags": ("Packet", "flags"),
+            "vlan_tci": ("Packet", "vlan_anno"),
+            "rss_hash": ("Packet", "rss_anno"),
+            "timestamp": ("Packet", "timestamp"),
+        },
+    )
+
+
+def minimal_conversions() -> ConversionSet:
+    """The l2fwd-xchg sample application's set: metadata reduced to just
+    the buffer address and packet length (paper §4.6)."""
+    return ConversionSet(
+        name="l2fwd-xchg",
+        targets={
+            "buffer": ("Packet", "buffer"),
+            "length": ("Packet", "length"),
+        },
+    )

@@ -1,0 +1,15 @@
+"""Experiment reproductions: one module per paper figure/table.
+
+Every module exposes:
+
+- ``run(scale)`` -> a result object (rows of measurements),
+- ``check(result)`` -> asserts the paper's qualitative claims hold,
+- ``format_table(result)`` -> the printable rows the paper reports.
+
+``scale`` is a :class:`repro.experiments.common.Scale`: ``QUICK`` keeps
+benchmark runtimes sane; ``FULL`` sweeps the paper's full grids.
+"""
+
+from repro.experiments.common import FULL, QUICK, Scale
+
+__all__ = ["FULL", "QUICK", "Scale"]

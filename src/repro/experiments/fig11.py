@@ -1,0 +1,92 @@
+"""Figure 11: framework comparison, forwarding @1.2 GHz, size sweep.
+
+(a) DPDK applications: FastClick (Copying), l2fwd, PacketMill (X-Change),
+l2fwd-xchg.  (b) Modular frameworks: VPP, FastClick, FastClick-Light
+(Overlaying), BESS, PacketMill.  Claims: l2fwd-xchg beats l2fwd by up to
+~59%; PacketMill outruns l2fwd despite being a full modular framework;
+BESS ~ FastClick-Light > FastClick ~ VPP; PacketMill best overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import QUICK, Row, Scale, format_rows
+from repro.frameworks import FRAMEWORK_BUILDERS
+from repro.hw.params import MachineParams
+from repro.perf.runner import measure_throughput
+
+FREQ_GHZ = 1.2
+
+FIG11A = ("FastClick (Copying)", "l2fwd", "PacketMill (X-Change)", "l2fwd-xchg")
+FIG11B = (
+    "VPP",
+    "FastClick (Copying)",
+    "FastClick-Light (Overlaying)",
+    "BESS",
+    "PacketMill (X-Change)",
+)
+
+
+@dataclass
+class Fig11Result:
+    sizes: List[int]
+    gbps: Dict[str, List[float]]
+
+
+def run(scale: Scale = QUICK) -> Fig11Result:
+    sizes = list(scale.packet_sizes)
+    params = MachineParams().at_frequency(FREQ_GHZ)
+    names = sorted(set(FIG11A) | set(FIG11B))
+    gbps: Dict[str, List[float]] = {n: [] for n in names}
+    for size in sizes:
+        for name in names:
+            binary = FRAMEWORK_BUILDERS[name](params, size, seed=3)
+            point = measure_throughput(
+                binary, batches=scale.batches, warmup_batches=scale.warmup_batches
+            )
+            gbps[name].append(point.gbps)
+    return Fig11Result(sizes, gbps)
+
+
+def check(result: Fig11Result) -> None:
+    for i, size in enumerate(result.sizes):
+        at = {name: series[i] for name, series in result.gbps.items()}
+        capped = at["l2fwd-xchg"] > 95.0  # ceilings compress gaps at line rate
+        if not capped:
+            # (a) X-Change lifts both the framework and the sample app.
+            assert at["PacketMill (X-Change)"] > at["FastClick (Copying)"]
+            assert at["l2fwd-xchg"] > at["l2fwd"]
+            # PacketMill keeps up with (or beats) the minimal l2fwd.
+            assert at["PacketMill (X-Change)"] > at["l2fwd"] * 0.95
+            # (b) overlaying frameworks beat copying frameworks.
+            assert at["BESS"] > at["FastClick (Copying)"] * 0.99
+            assert at["FastClick-Light (Overlaying)"] > at["FastClick (Copying)"] * 0.99
+            # VPP performs like copying-based FastClick.
+            ratio = at["VPP"] / at["FastClick (Copying)"]
+            assert 0.7 < ratio < 1.3
+            # PacketMill is the best modular framework.
+            for other in FIG11B[:-1]:
+                assert at["PacketMill (X-Change)"] >= at[other]
+    # l2fwd-xchg's gain over l2fwd reaches tens of percent at small sizes.
+    small_gain = result.gbps["l2fwd-xchg"][0] / result.gbps["l2fwd"][0]
+    assert small_gain > 1.25, "l2fwd-xchg gain only %.2fx" % small_gain
+
+
+def format_table(result: Fig11Result) -> str:
+    rows = []
+    for name, series in sorted(result.gbps.items()):
+        for i, size in enumerate(result.sizes):
+            rows.append(Row(label=name, values={"size_B": size, "gbps": series[i]}))
+    return format_rows(
+        rows,
+        ["size_B", "gbps"],
+        header="Figure 11: frameworks, forwarding @%.1f GHz" % FREQ_GHZ,
+    )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(format_table(result))
+    check(result)

@@ -1,0 +1,64 @@
+"""Regenerate a full paper-reproduction report from live measurements.
+
+Runs every experiment module (``python -m repro.experiments.report``),
+checks its claims, and writes a single markdown report with the measured
+tables -- the data behind EXPERIMENTS.md, reproducible in one command.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.experiments import fig01, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, table1
+from repro.experiments.common import QUICK, Scale
+
+MODULES = [
+    ("Table 1", table1),
+    ("Figure 1", fig01),
+    ("Figure 4", fig04),
+    ("Figure 5", fig05),
+    ("Figure 6", fig06),
+    ("Figure 7", fig07),
+    ("Figure 8", fig08),
+    ("Figure 9", fig09),
+    ("Figure 10", fig10),
+    ("Figure 11", fig11),
+]
+
+
+def generate(scale: Scale = QUICK, out_path: Optional[str] = None,
+             only: Optional[str] = None, log=print) -> str:
+    """Run the experiments and return (and optionally write) the report."""
+    sections = [
+        "# PacketMill reproduction report",
+        "",
+        "Scale: %s.  Every section is one paper table/figure; claims are"
+        " machine-checked by the module's `check()`." % scale.name,
+    ]
+    for label, module in MODULES:
+        if only and only not in module.__name__:
+            continue
+        log("running %s (%s)..." % (label, module.__name__))
+        started = time.time()
+        result = module.run(scale)
+        module.check(result)
+        elapsed = time.time() - started
+        sections.append("")
+        sections.append("## %s  (checked OK, %.0f s)" % (label, elapsed))
+        sections.append("")
+        sections.append("```")
+        sections.append(module.format_table(result))
+        sections.append("```")
+    report = "\n".join(sections)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(report + "\n")
+        log("wrote %s" % out_path)
+    return report
+
+
+if __name__ == "__main__":
+    only = sys.argv[1] if len(sys.argv) > 1 else None
+    generate(out_path="reproduction_report.md", only=only)

@@ -1,0 +1,39 @@
+"""Baseline packet-processing frameworks for the §4.6 comparison.
+
+Each builder returns an object :func:`repro.perf.runner.measure_throughput`
+can drive.  Click-based frameworks reuse the PacketMill build pipeline
+with the metadata model and batching discipline the real framework uses;
+the two pure-DPDK sample applications (l2fwd, l2fwd-xchg) bypass the
+modular framework entirely.
+"""
+
+from repro.frameworks.click_based import (
+    bess_forwarder,
+    fastclick_forwarder,
+    fastclick_light_forwarder,
+    packetmill_forwarder,
+    vpp_forwarder,
+)
+from repro.frameworks.l2fwd import L2fwdBinary, l2fwd, l2fwd_xchg
+
+FRAMEWORK_BUILDERS = {
+    "FastClick (Copying)": fastclick_forwarder,
+    "FastClick-Light (Overlaying)": fastclick_light_forwarder,
+    "PacketMill (X-Change)": packetmill_forwarder,
+    "VPP": vpp_forwarder,
+    "BESS": bess_forwarder,
+    "l2fwd": l2fwd,
+    "l2fwd-xchg": l2fwd_xchg,
+}
+
+__all__ = [
+    "FRAMEWORK_BUILDERS",
+    "L2fwdBinary",
+    "bess_forwarder",
+    "fastclick_forwarder",
+    "fastclick_light_forwarder",
+    "l2fwd",
+    "l2fwd_xchg",
+    "packetmill_forwarder",
+    "vpp_forwarder",
+]

@@ -1,0 +1,66 @@
+"""Click-family baselines built through the PacketMill pipeline.
+
+Framework differences, per the paper's §2/§4.6 descriptions:
+
+- **FastClick** -- Copying model (its default), dynamic graph, LTO on
+  (every §4.6 build uses LTO so models compare at their best).
+- **FastClick-Light** -- "disabling extra features and using the
+  Overlaying model": lighter app path, mbuf-cast metadata.
+- **BESS** -- Overlaying by design (``sn_buff`` over the mbuf), lean
+  run-to-completion pipeline, so it matches FastClick-Light.
+- **VPP** -- Copying+Overlaying hybrid (casts the mbuf but still copies
+  fields into ``vlib_buffer_t`` for SSE-friendliness), large vectors; the
+  paper measures it at Copying-level performance.
+- **PacketMill** -- X-Change + all source-code optimizations + LTO.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.nfs import forwarder
+from repro.core.options import BuildOptions, MetadataModel
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+
+def _trace(frame_len: int, seed: int):
+    return lambda port, core: FixedSizeTraceGenerator(
+        frame_len, TraceSpec(seed=seed + port)
+    )
+
+
+def fastclick_forwarder(params: MachineParams, frame_len: int, seed: int = 0):
+    """Default FastClick: Copying model, dynamic graph."""
+    options = BuildOptions.metadata(MetadataModel.COPYING)
+    return PacketMill(forwarder(), options, params=params,
+                      trace=_trace(frame_len, seed), seed=seed).build()
+
+
+def fastclick_light_forwarder(params: MachineParams, frame_len: int, seed: int = 0):
+    """FastClick with extra features disabled, Overlaying model."""
+    options = BuildOptions.metadata(MetadataModel.OVERLAYING)
+    return PacketMill(forwarder(), options, params=params,
+                      trace=_trace(frame_len, seed), seed=seed).build()
+
+
+def bess_forwarder(params: MachineParams, frame_len: int, seed: int = 0):
+    """BESS: overlaying metadata, lean module pipeline (batch 32)."""
+    options = BuildOptions.metadata(MetadataModel.OVERLAYING)
+    return PacketMill(forwarder(), options, params=params,
+                      trace=_trace(frame_len, seed), seed=seed).build()
+
+
+def vpp_forwarder(params: MachineParams, frame_len: int, seed: int = 0):
+    """VPP: copy-based vlib buffers, 256-packet vectors."""
+    options = BuildOptions.metadata(MetadataModel.COPYING)
+    return PacketMill(forwarder(burst=256), options, params=params,
+                      trace=_trace(frame_len, seed), seed=seed, burst=256).build()
+
+
+def packetmill_forwarder(params: MachineParams, frame_len: int, seed: int = 0,
+                         options: Optional[BuildOptions] = None):
+    """The full PacketMill system."""
+    return PacketMill(forwarder(), options or BuildOptions.packetmill(),
+                      params=params, trace=_trace(frame_len, seed), seed=seed).build()

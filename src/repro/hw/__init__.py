@@ -1,0 +1,35 @@
+"""Cycle-level hardware model: caches, DDIO, TLB, CPU cost accounting.
+
+This is the substitution for the paper's physical testbed (2x18-core Xeon
+Gold 6140, Mellanox CX-5, 100-Gbps link).  Costs are split into two clock
+domains, exactly as on the real machine:
+
+- *core cycles* (instruction issue, L1/L2 hits, branch misses) scale with
+  the core frequency the experiments sweep (1.2-3.0 GHz), and
+- *uncore nanoseconds* (LLC, DRAM, PCIe) are fixed in wall-clock terms
+  because the paper pins the uncore clock at its 2.4 GHz maximum.
+
+This split is what produces the paper's almost-linear throughput-vs-
+frequency curves with a small constant offset (Fig. 4).
+"""
+
+from repro.hw.cache import Cache, CacheHierarchy
+from repro.hw.counters import PerfCounters
+from repro.hw.cpu import CpuCore
+from repro.hw.layout import AddressSpace, Region
+from repro.hw.memory import AccessLevel, MemorySystem
+from repro.hw.params import MachineParams
+from repro.hw.tlb import Tlb
+
+__all__ = [
+    "AccessLevel",
+    "AddressSpace",
+    "Cache",
+    "CacheHierarchy",
+    "CpuCore",
+    "MachineParams",
+    "MemorySystem",
+    "PerfCounters",
+    "Region",
+    "Tlb",
+]

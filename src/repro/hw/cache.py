@@ -1,0 +1,171 @@
+"""Set-associative caches with LRU replacement, plus DDIO-aware LLC fills.
+
+The model is a classic inclusive three-level hierarchy.  The one extension
+needed for this paper is Intel DDIO: NIC DMA writes allocate directly into
+the last-level cache, but only into a limited number of ways per set, so
+heavy I/O both *warms* the LLC (packet data arrives cached) and *pressures*
+it (DDIO fills evict application lines from those ways).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Cache:
+    """One set-associative, write-allocate, LRU cache level.
+
+    Tags are full line addresses (``addr // line_size``); each set is a
+    list ordered least-recently-used first.
+    """
+
+    __slots__ = ("name", "size", "assoc", "line_size", "n_sets", "_sets",
+                 "_ddio_flags", "hits", "misses")
+
+    def __init__(self, name: str, size: int, assoc: int, line_size: int = 64):
+        if size % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc * line_size")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = size // (assoc * line_size)
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        # Parallel per-set lists marking lines that were DDIO-allocated.
+        self._ddio_flags: List[List[bool]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.n_sets
+
+    def access(self, line_addr: int) -> bool:
+        """Look up a line; on a hit, promote it to MRU.  Returns hit/miss."""
+        idx = self._set_index(line_addr)
+        cset = self._sets[idx]
+        try:
+            pos = cset.index(line_addr)
+        except ValueError:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if pos != len(cset) - 1:
+            cset.append(cset.pop(pos))
+            flags = self._ddio_flags[idx]
+            flags.append(flags.pop(pos))
+        return True
+
+    def fill(self, line_addr: int, ddio: bool = False,
+             ddio_ways: Optional[int] = None) -> Optional[int]:
+        """Insert a line, evicting LRU if the set is full.
+
+        With ``ddio=True`` and ``ddio_ways`` set, the line may only displace
+        other DDIO lines once the DDIO way quota for the set is reached --
+        Intel's way-restricted I/O allocation.  Returns the evicted line
+        address, if any.
+        """
+        idx = self._set_index(line_addr)
+        cset = self._sets[idx]
+        flags = self._ddio_flags[idx]
+        if line_addr in cset:
+            return None
+        evicted = None
+        if ddio and ddio_ways is not None:
+            ddio_count = sum(flags)
+            if ddio_count >= ddio_ways:
+                # Evict the LRU DDIO line rather than an application line.
+                for pos, is_ddio in enumerate(flags):
+                    if is_ddio:
+                        evicted = cset.pop(pos)
+                        flags.pop(pos)
+                        break
+        if evicted is None and len(cset) >= self.assoc:
+            evicted = cset.pop(0)
+            flags.pop(0)
+        cset.append(line_addr)
+        flags.append(ddio)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present (used for DMA coherence)."""
+        idx = self._set_index(line_addr)
+        cset = self._sets[idx]
+        try:
+            pos = cset.index(line_addr)
+        except ValueError:
+            return False
+        cset.pop(pos)
+        self._ddio_flags[idx].pop(pos)
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        for cset in self._sets:
+            cset.clear()
+        for flags in self._ddio_flags:
+            flags.clear()
+        self.reset_stats()
+
+    def __repr__(self) -> str:
+        return "Cache(%s, %dKB, %d-way)" % (self.name, self.size // 1024, self.assoc)
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 plus a shared LLC, with DDIO DMA fills.
+
+    ``lookup`` walks the hierarchy and back-fills inclusively; ``dma_write``
+    models the NIC writing packet data/descriptors straight into the LLC's
+    DDIO ways while invalidating stale copies in core-private levels.
+    """
+
+    L1, L2, LLC, DRAM = range(4)
+
+    def __init__(self, params, n_cores: int = 1):
+        self.params = params
+        self.n_cores = n_cores
+        self.l1 = [Cache("L1-%d" % c, params.l1_size, params.l1_assoc, params.cache_line)
+                   for c in range(n_cores)]
+        self.l2 = [Cache("L2-%d" % c, params.l2_size, params.l2_assoc, params.cache_line)
+                   for c in range(n_cores)]
+        self.llc = Cache("LLC", params.llc_size, params.llc_assoc, params.cache_line)
+
+    def lookup(self, core: int, line_addr: int) -> int:
+        """Return the level that served the line and fill upper levels."""
+        if self.l1[core].access(line_addr):
+            return self.L1
+        if self.l2[core].access(line_addr):
+            self.l1[core].fill(line_addr)
+            return self.L2
+        if self.llc.access(line_addr):
+            self.l2[core].fill(line_addr)
+            self.l1[core].fill(line_addr)
+            return self.LLC
+        self.llc.fill(line_addr)
+        self.l2[core].fill(line_addr)
+        self.l1[core].fill(line_addr)
+        return self.DRAM
+
+    def dma_write(self, line_addr: int) -> None:
+        """NIC DMA of one line: DDIO-allocate in LLC, invalidate core copies."""
+        for core in range(self.n_cores):
+            self.l1[core].invalidate(line_addr)
+            self.l2[core].invalidate(line_addr)
+        self.llc.fill(line_addr, ddio=True, ddio_ways=self.params.ddio_ways)
+
+    def dma_read(self, line_addr: int) -> bool:
+        """NIC DMA read (TX): served from LLC when resident.  Returns hit."""
+        return self.llc.access(line_addr)
+
+    def flush(self) -> None:
+        for cache in self.l1 + self.l2 + [self.llc]:
+            cache.flush()

@@ -1,0 +1,52 @@
+"""perf-style hardware event counters.
+
+The paper reports microarchitectural metrics sampled with ``perf`` every
+100 ms (Table 1, §4.2, Fig. 9).  We count events per run and provide the
+same per-100-ms view by scaling with the measured packet rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """Event counts accumulated over one measurement run."""
+
+    instructions: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_loads: int = 0      # loads that reached the LLC (= L2 misses)
+    llc_hits: int = 0       # ... served by the LLC
+    llc_misses: int = 0     # ... that went to DRAM
+    dtlb_walks: int = 0
+    branch_misses: int = 0
+    ddio_fills: int = 0
+    packets: int = 0
+
+    def add(self, other: "PerfCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def per_packet(self, name: str) -> float:
+        if self.packets == 0:
+            raise ValueError("no packets recorded")
+        return getattr(self, name) / self.packets
+
+    def per_window(self, name: str, pps: float, window_s: float = 0.1) -> float:
+        """Events per ``window_s`` at the measured packet rate (perf's view)."""
+        return self.per_packet(name) * pps * window_s
+
+    def llc_miss_ratio(self) -> float:
+        """Fraction of LLC loads that missed to DRAM."""
+        if self.llc_loads == 0:
+            return 0.0
+        return self.llc_misses / self.llc_loads
+
+    def snapshot(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,18 @@
+"""Packet substrate: byte-level packets, protocol codecs, and traffic traces."""
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.packet import Packet
+from repro.net.trace import (
+    CampusTraceGenerator,
+    FixedSizeTraceGenerator,
+    TraceSpec,
+)
+
+__all__ = [
+    "IPv4Address",
+    "MacAddress",
+    "Packet",
+    "CampusTraceGenerator",
+    "FixedSizeTraceGenerator",
+    "TraceSpec",
+]

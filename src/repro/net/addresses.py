@@ -1,0 +1,156 @@
+"""MAC and IPv4 address value types.
+
+Small immutable wrappers around the raw byte/int representations used in
+packet buffers.  They parse and render the usual textual forms and support
+ordering/hashing so they can be used as dictionary keys in routing tables.
+"""
+
+from __future__ import annotations
+
+import re
+
+_MAC_RE = re.compile(r"^([0-9A-Fa-f]{2}[:-]){5}[0-9A-Fa-f]{2}$")
+
+
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise ValueError("MAC address out of range: %#x" % value)
+            self._value = value
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            if len(raw) != 6:
+                raise ValueError("MAC address needs 6 bytes, got %d" % len(raw))
+            self._value = int.from_bytes(raw, "big")
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise ValueError("invalid MAC address: %r" % value)
+            self._value = int(value.replace("-", ":").replace(":", ""), 16)
+        else:
+            raise TypeError("cannot build MacAddress from %r" % type(value))
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls((1 << 48) - 1)
+
+    @classmethod
+    def zero(cls) -> "MacAddress":
+        return cls(0)
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def is_broadcast(self) -> bool:
+        return self._value == (1 << 48) - 1
+
+    def is_multicast(self) -> bool:
+        return bool((self._value >> 40) & 0x01)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self.packed
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        return ":".join("%02x" % b for b in self.packed)
+
+    def __repr__(self) -> str:
+        return "MacAddress('%s')" % self
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise ValueError("IPv4 address out of range: %#x" % value)
+            self._value = value
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            if len(raw) != 4:
+                raise ValueError("IPv4 address needs 4 bytes, got %d" % len(raw))
+            self._value = int.from_bytes(raw, "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError("invalid IPv4 address: %r" % value)
+            octets = []
+            for part in parts:
+                if not part.isdigit():
+                    raise ValueError("invalid IPv4 address: %r" % value)
+                octet = int(part)
+                if octet > 255:
+                    raise ValueError("invalid IPv4 address: %r" % value)
+                octets.append(octet)
+            self._value = int.from_bytes(bytes(octets), "big")
+        else:
+            raise TypeError("cannot build IPv4Address from %r" % type(value))
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def in_prefix(self, prefix: "IPv4Address", prefix_len: int) -> bool:
+        """Return True when this address falls inside ``prefix/prefix_len``."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError("prefix length out of range: %d" % prefix_len)
+        if prefix_len == 0:
+            return True
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        return (self._value & mask) == (prefix.value & mask)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self.packed
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        return ".".join(str(b) for b in self.packed)
+
+    def __repr__(self) -> str:
+        return "IPv4Address('%s')" % self

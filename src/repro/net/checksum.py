@@ -1,0 +1,46 @@
+"""RFC 1071 Internet checksum, as used by IPv4/TCP/UDP/ICMP headers."""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """16-bit one's-complement sum of ``data`` folded into 16 bits."""
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words; pad a trailing odd byte with zero.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length & 1:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Compute the Internet checksum (complement of the one's-complement sum)."""
+    return (~ones_complement_sum(data, initial)) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to the all-ones value."""
+    return ones_complement_sum(data) == 0xFFFF
+
+
+def incremental_update(old_checksum: int, old_field: int, new_field: int) -> int:
+    """RFC 1624 incremental checksum update for a single 16-bit field change.
+
+    ``HC' = ~(~HC + ~m + m')`` where ``m``/``m'`` are the old/new field values.
+    """
+    if not 0 <= old_checksum <= 0xFFFF:
+        raise ValueError("checksum out of range")
+    total = (~old_checksum & 0xFFFF) + (~old_field & 0xFFFF) + (new_field & 0xFFFF)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header_sum(src: bytes, dst: bytes, proto: int, length: int) -> int:
+    """One's-complement sum of the IPv4 pseudo-header for TCP/UDP checksums."""
+    pseudo = src + dst + bytes((0, proto)) + length.to_bytes(2, "big")
+    return ones_complement_sum(pseudo)

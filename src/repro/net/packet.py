@@ -1,0 +1,200 @@
+"""The framework-side packet object (FastClick's ``Packet`` class analogue).
+
+A :class:`Packet` owns a byte buffer laid out like a DPDK data segment:
+``headroom`` spare bytes (for prepending headers, e.g. VLAN encapsulation)
+followed by the live frame bytes.  Alongside the raw bytes it carries:
+
+- *metadata*: buffer length, input port, RSS hash, VLAN TCI, timestamp --
+  the information the NIC/driver produces about the frame, and
+- *annotations*: a fixed 48-byte scratch area (Click's ``anno`` region) plus
+  cached header offsets, which elements use to pass derived information
+  down the processing graph.
+
+The paper's §2.2 centres on how this object is materialized from DPDK's
+``rte_mbuf`` (Copying vs. Overlaying vs. X-Change); the byte-level layout
+differences are modelled in :mod:`repro.compiler.structlayout` while this
+class provides the functional behaviour shared by all models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.protocols.arp import ArpHeader
+from repro.net.protocols.ether import EtherHeader
+from repro.net.protocols.icmp import IcmpHeader
+from repro.net.protocols.ip4 import Ipv4Header
+from repro.net.protocols.tcp import TcpHeader
+from repro.net.protocols.udp import UdpHeader
+from repro.net.protocols.vlan import VlanHeader
+
+DEFAULT_HEADROOM = 128
+ANNO_SIZE = 48
+
+# Fixed annotation offsets, mirroring Click's packet_anno.hh conventions.
+ANNO_PAINT = 0  # u8: element-defined color
+ANNO_VLAN_TCI = 2  # u16: VLAN tag control information
+ANNO_DST_IP = 4  # u32: destination IP (set by routing lookup)
+ANNO_AGGREGATE = 8  # u32: flow aggregate / RSS bucket
+ANNO_EXTRA_LENGTH = 12  # u32
+ANNO_SEQUENCE = 16  # u32: generator sequence number
+
+
+class Packet:
+    """A network packet with metadata and a 48-byte annotation area."""
+
+    __slots__ = (
+        "buffer",
+        "headroom",
+        "length",
+        "anno",
+        "timestamp",
+        "port",
+        "rss_hash",
+        "vlan_tci",
+        "packet_type",
+        "mac_header_offset",
+        "network_header_offset",
+        "transport_header_offset",
+        "mbuf",
+    )
+
+    def __init__(
+        self,
+        data: bytes = b"",
+        headroom: int = DEFAULT_HEADROOM,
+        timestamp: float = 0.0,
+        port: int = 0,
+    ):
+        self.buffer = bytearray(headroom) + bytearray(data)
+        self.headroom = headroom
+        self.length = len(data)
+        self.anno = bytearray(ANNO_SIZE)
+        self.timestamp = timestamp
+        self.port = port
+        self.rss_hash = 0
+        self.vlan_tci = 0
+        self.packet_type = 0
+        self.mac_header_offset: Optional[int] = None
+        self.network_header_offset: Optional[int] = None
+        self.transport_header_offset: Optional[int] = None
+        self.mbuf = None  # back-pointer when overlaid on a DPDK mbuf
+
+    # -- raw data ------------------------------------------------------------
+
+    def data(self) -> memoryview:
+        """Writable view over the live frame bytes."""
+        return memoryview(self.buffer)[self.headroom : self.headroom + self.length]
+
+    def data_bytes(self) -> bytes:
+        return bytes(self.data())
+
+    def push(self, nbytes: int) -> None:
+        """Extend the frame ``nbytes`` into the headroom (prepend space)."""
+        if nbytes > self.headroom:
+            raise ValueError(
+                "push of %d bytes exceeds headroom of %d" % (nbytes, self.headroom)
+            )
+        self.headroom -= nbytes
+        self.length += nbytes
+        self._shift_header_offsets(nbytes)
+
+    def pull(self, nbytes: int) -> None:
+        """Strip ``nbytes`` from the front of the frame into the headroom."""
+        if nbytes > self.length:
+            raise ValueError("pull of %d bytes exceeds length %d" % (nbytes, self.length))
+        self.headroom += nbytes
+        self.length -= nbytes
+        self._shift_header_offsets(-nbytes)
+
+    def take(self, nbytes: int) -> None:
+        """Strip ``nbytes`` from the end of the frame."""
+        if nbytes > self.length:
+            raise ValueError("take of %d bytes exceeds length %d" % (nbytes, self.length))
+        self.length -= nbytes
+
+    def _shift_header_offsets(self, delta: int) -> None:
+        if self.mac_header_offset is not None:
+            self.mac_header_offset += delta
+        if self.network_header_offset is not None:
+            self.network_header_offset += delta
+        if self.transport_header_offset is not None:
+            self.transport_header_offset += delta
+
+    def clone(self) -> "Packet":
+        """Deep copy (data and annotations)."""
+        other = Packet(b"", headroom=0)
+        other.buffer = bytearray(self.buffer)
+        other.headroom = self.headroom
+        other.length = self.length
+        other.anno = bytearray(self.anno)
+        other.timestamp = self.timestamp
+        other.port = self.port
+        other.rss_hash = self.rss_hash
+        other.vlan_tci = self.vlan_tci
+        other.packet_type = self.packet_type
+        other.mac_header_offset = self.mac_header_offset
+        other.network_header_offset = self.network_header_offset
+        other.transport_header_offset = self.transport_header_offset
+        return other
+
+    # -- annotations ---------------------------------------------------------
+
+    def anno_u8(self, offset: int) -> int:
+        return self.anno[offset]
+
+    def set_anno_u8(self, offset: int, value: int) -> None:
+        self.anno[offset] = value & 0xFF
+
+    def anno_u16(self, offset: int) -> int:
+        return int.from_bytes(self.anno[offset : offset + 2], "big")
+
+    def set_anno_u16(self, offset: int, value: int) -> None:
+        self.anno[offset : offset + 2] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def anno_u32(self, offset: int) -> int:
+        return int.from_bytes(self.anno[offset : offset + 4], "big")
+
+    def set_anno_u32(self, offset: int, value: int) -> None:
+        self.anno[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    # -- header views ---------------------------------------------------------
+
+    def _abs(self, rel: Optional[int]) -> int:
+        if rel is None:
+            raise ValueError("header offset not set; run a classification element first")
+        return self.headroom + rel
+
+    def ether(self) -> EtherHeader:
+        offset = 0 if self.mac_header_offset is None else self.mac_header_offset
+        return EtherHeader(self.buffer, self.headroom + offset)
+
+    def vlan(self) -> VlanHeader:
+        offset = 0 if self.mac_header_offset is None else self.mac_header_offset
+        return VlanHeader(self.buffer, self.headroom + offset + EtherHeader.LENGTH)
+
+    def ip(self) -> Ipv4Header:
+        return Ipv4Header(self.buffer, self._abs(self.network_header_offset))
+
+    def tcp(self) -> TcpHeader:
+        return TcpHeader(self.buffer, self._abs(self.transport_header_offset))
+
+    def udp(self) -> UdpHeader:
+        return UdpHeader(self.buffer, self._abs(self.transport_header_offset))
+
+    def icmp(self) -> IcmpHeader:
+        return IcmpHeader(self.buffer, self._abs(self.transport_header_offset))
+
+    def arp(self) -> ArpHeader:
+        offset = 0 if self.mac_header_offset is None else self.mac_header_offset
+        return ArpHeader(self.buffer, self.headroom + offset + EtherHeader.LENGTH)
+
+    def transport_available(self) -> int:
+        """Bytes available from the transport header to the end of the frame."""
+        return self.length - self.transport_header_offset
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return "Packet(len=%d, port=%d, ts=%.9f)" % (self.length, self.port, self.timestamp)

@@ -1,0 +1,33 @@
+"""View-style protocol header codecs over packet byte buffers."""
+
+from repro.net.protocols.arp import ArpHeader
+from repro.net.protocols.ether import EtherHeader
+from repro.net.protocols.icmp import IcmpHeader
+from repro.net.protocols.ip4 import Ipv4Header
+from repro.net.protocols.tcp import TcpHeader
+from repro.net.protocols.udp import UdpHeader
+from repro.net.protocols.vlan import VlanHeader
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+IP_PROTO_ICMP = 1
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+__all__ = [
+    "ArpHeader",
+    "EtherHeader",
+    "IcmpHeader",
+    "Ipv4Header",
+    "TcpHeader",
+    "UdpHeader",
+    "VlanHeader",
+    "ETHERTYPE_IP",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_VLAN",
+    "IP_PROTO_ICMP",
+    "IP_PROTO_TCP",
+    "IP_PROTO_UDP",
+]

@@ -1,0 +1,105 @@
+"""ARP (IPv4-over-Ethernet) header codec."""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+ARP_HEADER_LEN = 28
+
+ARP_OP_REQUEST = 1
+ARP_OP_REPLY = 2
+
+
+class ArpHeader:
+    """View over a 28-byte Ethernet/IPv4 ARP payload."""
+
+    __slots__ = ("_buf", "_off")
+
+    LENGTH = ARP_HEADER_LEN
+    OP_REQUEST = ARP_OP_REQUEST
+    OP_REPLY = ARP_OP_REPLY
+
+    def __init__(self, buf: bytearray, offset: int):
+        if len(buf) - offset < ARP_HEADER_LEN:
+            raise ValueError("buffer too short for ARP header")
+        self._buf = buf
+        self._off = offset
+
+    @classmethod
+    def build(
+        cls,
+        op: int,
+        sender_mac: MacAddress,
+        sender_ip: IPv4Address,
+        target_mac: MacAddress,
+        target_ip: IPv4Address,
+    ) -> bytes:
+        return (
+            (1).to_bytes(2, "big")  # htype: Ethernet
+            + (0x0800).to_bytes(2, "big")  # ptype: IPv4
+            + bytes((6, 4))  # hlen, plen
+            + op.to_bytes(2, "big")
+            + sender_mac.packed
+            + sender_ip.packed
+            + target_mac.packed
+            + target_ip.packed
+        )
+
+    def _u16(self, rel: int) -> int:
+        return int.from_bytes(self._buf[self._off + rel : self._off + rel + 2], "big")
+
+    @property
+    def op(self) -> int:
+        return self._u16(6)
+
+    @op.setter
+    def op(self, value: int) -> None:
+        self._buf[self._off + 6 : self._off + 8] = value.to_bytes(2, "big")
+
+    @property
+    def sender_mac(self) -> MacAddress:
+        return MacAddress(bytes(self._buf[self._off + 8 : self._off + 14]))
+
+    @sender_mac.setter
+    def sender_mac(self, mac: MacAddress) -> None:
+        self._buf[self._off + 8 : self._off + 14] = MacAddress(mac).packed
+
+    @property
+    def sender_ip(self) -> IPv4Address:
+        return IPv4Address(bytes(self._buf[self._off + 14 : self._off + 18]))
+
+    @sender_ip.setter
+    def sender_ip(self, ip: IPv4Address) -> None:
+        self._buf[self._off + 14 : self._off + 18] = IPv4Address(ip).packed
+
+    @property
+    def target_mac(self) -> MacAddress:
+        return MacAddress(bytes(self._buf[self._off + 18 : self._off + 24]))
+
+    @target_mac.setter
+    def target_mac(self, mac: MacAddress) -> None:
+        self._buf[self._off + 18 : self._off + 24] = MacAddress(mac).packed
+
+    @property
+    def target_ip(self) -> IPv4Address:
+        return IPv4Address(bytes(self._buf[self._off + 24 : self._off + 28]))
+
+    @target_ip.setter
+    def target_ip(self, ip: IPv4Address) -> None:
+        self._buf[self._off + 24 : self._off + 28] = IPv4Address(ip).packed
+
+    def is_valid(self) -> bool:
+        """Check the fixed hardware/protocol type fields."""
+        return (
+            self._u16(0) == 1
+            and self._u16(2) == 0x0800
+            and self._buf[self._off + 4] == 6
+            and self._buf[self._off + 5] == 4
+        )
+
+    def __repr__(self) -> str:
+        return "ArpHeader(op=%d, sender=%s, target=%s)" % (
+            self.op,
+            self.sender_ip,
+            self.target_ip,
+        )

@@ -1,0 +1,87 @@
+"""ICMP header codec."""
+
+from __future__ import annotations
+
+from repro.net.checksum import internet_checksum, verify_checksum
+
+ICMP_HEADER_LEN = 8
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+
+class IcmpHeader:
+    """View over an 8-byte ICMP header inside a buffer."""
+
+    __slots__ = ("_buf", "_off")
+
+    LENGTH = ICMP_HEADER_LEN
+
+    ECHO_REPLY = ICMP_ECHO_REPLY
+    DEST_UNREACHABLE = ICMP_DEST_UNREACHABLE
+    ECHO_REQUEST = ICMP_ECHO_REQUEST
+    TIME_EXCEEDED = ICMP_TIME_EXCEEDED
+
+    def __init__(self, buf: bytearray, offset: int):
+        if len(buf) - offset < ICMP_HEADER_LEN:
+            raise ValueError("buffer too short for ICMP header")
+        self._buf = buf
+        self._off = offset
+
+    @classmethod
+    def build(cls, icmp_type: int, code: int = 0, ident: int = 0, seq: int = 0,
+              payload: bytes = b"") -> bytes:
+        header = bytearray(ICMP_HEADER_LEN)
+        header[0] = icmp_type
+        header[1] = code
+        header[4:6] = ident.to_bytes(2, "big")
+        header[6:8] = seq.to_bytes(2, "big")
+        header[2:4] = internet_checksum(bytes(header) + payload).to_bytes(2, "big")
+        return bytes(header)
+
+    @property
+    def icmp_type(self) -> int:
+        return self._buf[self._off]
+
+    @icmp_type.setter
+    def icmp_type(self, value: int) -> None:
+        self._buf[self._off] = value
+
+    @property
+    def code(self) -> int:
+        return self._buf[self._off + 1]
+
+    @property
+    def checksum(self) -> int:
+        return int.from_bytes(self._buf[self._off + 2 : self._off + 4], "big")
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._buf[self._off + 2 : self._off + 4] = value.to_bytes(2, "big")
+
+    @property
+    def ident(self) -> int:
+        return int.from_bytes(self._buf[self._off + 4 : self._off + 6], "big")
+
+    @property
+    def seq(self) -> int:
+        return int.from_bytes(self._buf[self._off + 6 : self._off + 8], "big")
+
+    def verify(self, payload_len: int) -> bool:
+        """Verify the ICMP checksum over header + payload."""
+        end = self._off + ICMP_HEADER_LEN + payload_len
+        return verify_checksum(bytes(self._buf[self._off : end]))
+
+    def verify_structure(self, available: int) -> bool:
+        """IDS-style structural check: known type and room for the header."""
+        return available >= ICMP_HEADER_LEN and self.icmp_type in (
+            ICMP_ECHO_REPLY,
+            ICMP_DEST_UNREACHABLE,
+            ICMP_ECHO_REQUEST,
+            ICMP_TIME_EXCEEDED,
+        )
+
+    def __repr__(self) -> str:
+        return "IcmpHeader(type=%d, code=%d)" % (self.icmp_type, self.code)

@@ -1,0 +1,172 @@
+"""IPv4 header codec with checksum support."""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address
+from repro.net.checksum import incremental_update, internet_checksum, verify_checksum
+
+IPV4_MIN_HEADER_LEN = 20
+
+
+class Ipv4Header:
+    """View over an IPv4 header (20 bytes + options) inside a buffer."""
+
+    __slots__ = ("_buf", "_off")
+
+    LENGTH = IPV4_MIN_HEADER_LEN
+
+    def __init__(self, buf: bytearray, offset: int):
+        if len(buf) - offset < IPV4_MIN_HEADER_LEN:
+            raise ValueError("buffer too short for IPv4 header")
+        self._buf = buf
+        self._off = offset
+
+    @classmethod
+    def build(
+        cls,
+        src: IPv4Address,
+        dst: IPv4Address,
+        proto: int,
+        payload_len: int,
+        ttl: int = 64,
+        ident: int = 0,
+        dscp: int = 0,
+        flags: int = 0x2,  # don't-fragment, like most modern stacks
+    ) -> bytes:
+        total_len = IPV4_MIN_HEADER_LEN + payload_len
+        header = bytearray(IPV4_MIN_HEADER_LEN)
+        header[0] = (4 << 4) | 5  # version 4, IHL 5
+        header[1] = dscp << 2
+        header[2:4] = total_len.to_bytes(2, "big")
+        header[4:6] = ident.to_bytes(2, "big")
+        header[6:8] = ((flags << 13) | 0).to_bytes(2, "big")
+        header[8] = ttl
+        header[9] = proto
+        header[12:16] = src.packed
+        header[16:20] = dst.packed
+        header[10:12] = internet_checksum(bytes(header)).to_bytes(2, "big")
+        return bytes(header)
+
+    # -- field accessors ----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._buf[self._off] >> 4
+
+    @property
+    def ihl(self) -> int:
+        """Header length in 32-bit words."""
+        return self._buf[self._off] & 0x0F
+
+    @property
+    def header_len(self) -> int:
+        return self.ihl * 4
+
+    @property
+    def total_len(self) -> int:
+        return int.from_bytes(self._buf[self._off + 2 : self._off + 4], "big")
+
+    @total_len.setter
+    def total_len(self, value: int) -> None:
+        self._buf[self._off + 2 : self._off + 4] = value.to_bytes(2, "big")
+
+    @property
+    def ident(self) -> int:
+        return int.from_bytes(self._buf[self._off + 4 : self._off + 6], "big")
+
+    @property
+    def flags(self) -> int:
+        return self._buf[self._off + 6] >> 5
+
+    @property
+    def frag_offset(self) -> int:
+        raw = int.from_bytes(self._buf[self._off + 6 : self._off + 8], "big")
+        return raw & 0x1FFF
+
+    @property
+    def ttl(self) -> int:
+        return self._buf[self._off + 8]
+
+    @ttl.setter
+    def ttl(self, value: int) -> None:
+        self._buf[self._off + 8] = value
+
+    @property
+    def proto(self) -> int:
+        return self._buf[self._off + 9]
+
+    @property
+    def checksum(self) -> int:
+        return int.from_bytes(self._buf[self._off + 10 : self._off + 12], "big")
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._buf[self._off + 10 : self._off + 12] = value.to_bytes(2, "big")
+
+    @property
+    def src(self) -> IPv4Address:
+        return IPv4Address(bytes(self._buf[self._off + 12 : self._off + 16]))
+
+    @src.setter
+    def src(self, ip: IPv4Address) -> None:
+        self._set_address(12, IPv4Address(ip))
+
+    @property
+    def dst(self) -> IPv4Address:
+        return IPv4Address(bytes(self._buf[self._off + 16 : self._off + 20]))
+
+    @dst.setter
+    def dst(self, ip: IPv4Address) -> None:
+        self._set_address(16, IPv4Address(ip))
+
+    # -- operations ----------------------------------------------------------
+
+    def _set_address(self, rel: int, ip: IPv4Address) -> None:
+        """Rewrite an address field, incrementally fixing the checksum."""
+        off = self._off + rel
+        checksum = self.checksum
+        for half in range(2):
+            old = int.from_bytes(self._buf[off + 2 * half : off + 2 * half + 2], "big")
+            new = int.from_bytes(ip.packed[2 * half : 2 * half + 2], "big")
+            checksum = incremental_update(checksum, old, new)
+        self._buf[off : off + 4] = ip.packed
+        self.checksum = checksum
+
+    def header_bytes(self) -> bytes:
+        return bytes(self._buf[self._off : self._off + self.header_len])
+
+    def verify(self) -> bool:
+        """Full header sanity check, as CheckIPHeader performs."""
+        if self.version != 4:
+            return False
+        if self.ihl < 5:
+            return False
+        if self.total_len < self.header_len:
+            return False
+        if len(self._buf) - self._off < self.header_len:
+            return False
+        return verify_checksum(self.header_bytes())
+
+    def decrement_ttl(self) -> int:
+        """Decrement TTL with the RFC 1624 incremental checksum fix.
+
+        Returns the new TTL.  Callers must check for zero and drop/ICMP.
+        """
+        old_word = (self.ttl << 8) | self.proto
+        self.ttl = self.ttl - 1
+        new_word = (self.ttl << 8) | self.proto
+        self.checksum = incremental_update(self.checksum, old_word, new_word)
+        return self.ttl
+
+    def recompute_checksum(self) -> None:
+        self.checksum = 0
+        self.checksum = internet_checksum(self.header_bytes())
+
+    def __repr__(self) -> str:
+        return "Ipv4Header(src=%s, dst=%s, proto=%d, ttl=%d, len=%d)" % (
+            self.src,
+            self.dst,
+            self.proto,
+            self.ttl,
+            self.total_len,
+        )

@@ -1,0 +1,133 @@
+"""TCP header codec."""
+
+from __future__ import annotations
+
+from repro.net.checksum import incremental_update
+
+TCP_MIN_HEADER_LEN = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+
+class TcpHeader:
+    """View over a TCP header (20 bytes + options) inside a buffer."""
+
+    __slots__ = ("_buf", "_off")
+
+    LENGTH = TCP_MIN_HEADER_LEN
+
+    FIN = FLAG_FIN
+    SYN = FLAG_SYN
+    RST = FLAG_RST
+    PSH = FLAG_PSH
+    ACK = FLAG_ACK
+    URG = FLAG_URG
+
+    def __init__(self, buf: bytearray, offset: int):
+        if len(buf) - offset < TCP_MIN_HEADER_LEN:
+            raise ValueError("buffer too short for TCP header")
+        self._buf = buf
+        self._off = offset
+
+    @classmethod
+    def build(
+        cls,
+        src_port: int,
+        dst_port: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = FLAG_ACK,
+        window: int = 0xFFFF,
+    ) -> bytes:
+        header = bytearray(TCP_MIN_HEADER_LEN)
+        header[0:2] = src_port.to_bytes(2, "big")
+        header[2:4] = dst_port.to_bytes(2, "big")
+        header[4:8] = seq.to_bytes(4, "big")
+        header[8:12] = ack.to_bytes(4, "big")
+        header[12] = (TCP_MIN_HEADER_LEN // 4) << 4
+        header[13] = flags
+        header[14:16] = window.to_bytes(2, "big")
+        return bytes(header)
+
+    @property
+    def src_port(self) -> int:
+        return int.from_bytes(self._buf[self._off : self._off + 2], "big")
+
+    @src_port.setter
+    def src_port(self, value: int) -> None:
+        self._set_port(0, value)
+
+    @property
+    def dst_port(self) -> int:
+        return int.from_bytes(self._buf[self._off + 2 : self._off + 4], "big")
+
+    @dst_port.setter
+    def dst_port(self, value: int) -> None:
+        self._set_port(2, value)
+
+    def _set_port(self, rel: int, value: int) -> None:
+        """Rewrite a port, incrementally fixing the TCP checksum (NAPT path)."""
+        off = self._off + rel
+        old = int.from_bytes(self._buf[off : off + 2], "big")
+        self._buf[off : off + 2] = value.to_bytes(2, "big")
+        self.checksum = incremental_update(self.checksum, old, value)
+
+    @property
+    def seq(self) -> int:
+        return int.from_bytes(self._buf[self._off + 4 : self._off + 8], "big")
+
+    @property
+    def ack_num(self) -> int:
+        return int.from_bytes(self._buf[self._off + 8 : self._off + 12], "big")
+
+    @property
+    def data_offset(self) -> int:
+        """Header length in 32-bit words."""
+        return self._buf[self._off + 12] >> 4
+
+    @property
+    def header_len(self) -> int:
+        return self.data_offset * 4
+
+    @property
+    def flags(self) -> int:
+        return self._buf[self._off + 13]
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        self._buf[self._off + 13] = value
+
+    @property
+    def window(self) -> int:
+        return int.from_bytes(self._buf[self._off + 14 : self._off + 16], "big")
+
+    @property
+    def checksum(self) -> int:
+        return int.from_bytes(self._buf[self._off + 16 : self._off + 18], "big")
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._buf[self._off + 16 : self._off + 18] = value.to_bytes(2, "big")
+
+    def verify_structure(self, available: int) -> bool:
+        """IDS-style structural check: sane data offset within the segment."""
+        return 5 <= self.data_offset and self.header_len <= available
+
+    def adjust_checksum_for_address(self, old_ip_words: tuple, new_ip_words: tuple) -> None:
+        """Fix the TCP checksum after the pseudo-header address changed."""
+        checksum = self.checksum
+        for old, new in zip(old_ip_words, new_ip_words):
+            checksum = incremental_update(checksum, old, new)
+        self.checksum = checksum
+
+    def __repr__(self) -> str:
+        return "TcpHeader(sport=%d, dport=%d, flags=0x%02x)" % (
+            self.src_port,
+            self.dst_port,
+            self.flags,
+        )

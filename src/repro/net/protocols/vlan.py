@@ -1,0 +1,65 @@
+"""IEEE 802.1Q VLAN tag codec."""
+
+from __future__ import annotations
+
+VLAN_HEADER_LEN = 4
+
+
+class VlanHeader:
+    """View over a 4-byte 802.1Q tag (TCI + inner ethertype)."""
+
+    __slots__ = ("_buf", "_off")
+
+    LENGTH = VLAN_HEADER_LEN
+
+    def __init__(self, buf: bytearray, offset: int):
+        if len(buf) - offset < VLAN_HEADER_LEN:
+            raise ValueError("buffer too short for VLAN tag")
+        self._buf = buf
+        self._off = offset
+
+    @classmethod
+    def build(cls, vlan_id: int, inner_ethertype: int, pcp: int = 0, dei: int = 0) -> bytes:
+        if not 0 <= vlan_id < 4096:
+            raise ValueError("VLAN ID out of range: %d" % vlan_id)
+        if not 0 <= pcp < 8:
+            raise ValueError("PCP out of range: %d" % pcp)
+        tci = (pcp << 13) | ((dei & 1) << 12) | vlan_id
+        return tci.to_bytes(2, "big") + inner_ethertype.to_bytes(2, "big")
+
+    @property
+    def tci(self) -> int:
+        return int.from_bytes(self._buf[self._off : self._off + 2], "big")
+
+    @tci.setter
+    def tci(self, value: int) -> None:
+        self._buf[self._off : self._off + 2] = value.to_bytes(2, "big")
+
+    @property
+    def vlan_id(self) -> int:
+        return self.tci & 0x0FFF
+
+    @vlan_id.setter
+    def vlan_id(self, value: int) -> None:
+        if not 0 <= value < 4096:
+            raise ValueError("VLAN ID out of range: %d" % value)
+        self.tci = (self.tci & 0xF000) | value
+
+    @property
+    def pcp(self) -> int:
+        return self.tci >> 13
+
+    @property
+    def inner_ethertype(self) -> int:
+        return int.from_bytes(self._buf[self._off + 2 : self._off + 4], "big")
+
+    @inner_ethertype.setter
+    def inner_ethertype(self, value: int) -> None:
+        self._buf[self._off + 2 : self._off + 4] = value.to_bytes(2, "big")
+
+    def __repr__(self) -> str:
+        return "VlanHeader(id=%d, pcp=%d, inner=0x%04x)" % (
+            self.vlan_id,
+            self.pcp,
+            self.inner_ethertype,
+        )

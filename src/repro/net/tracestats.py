@@ -1,0 +1,136 @@
+"""Trace statistics: the summary numbers the paper quotes about traces.
+
+("The campus trace has 799 M packets with an average size of 981 B" --
+this module computes those facts for any trace or capture: packet/byte
+counts, size histogram, protocol mix, flow counts and concentration.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net.packet import Packet
+from repro.net.protocols import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    IP_PROTO_ICMP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+)
+
+SIZE_BINS = (64, 128, 256, 512, 1024, 1514)
+
+_PROTO_NAMES = {IP_PROTO_TCP: "tcp", IP_PROTO_UDP: "udp", IP_PROTO_ICMP: "icmp"}
+
+
+@dataclass
+class TraceStats:
+    """Accumulated statistics over a packet stream."""
+
+    packets: int = 0
+    bytes: int = 0
+    min_len: int = 1 << 30
+    max_len: int = 0
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+    protocols: Dict[str, int] = field(default_factory=dict)
+    flows: Dict[Tuple, int] = field(default_factory=dict)
+
+    # -- accumulation ------------------------------------------------------------
+
+    def add_frame(self, frame: bytes) -> None:
+        length = len(frame)
+        self.packets += 1
+        self.bytes += length
+        self.min_len = min(self.min_len, length)
+        self.max_len = max(self.max_len, length)
+        self.size_histogram[self._bin(length)] = (
+            self.size_histogram.get(self._bin(length), 0) + 1
+        )
+        ethertype = int.from_bytes(frame[12:14], "big") if length >= 14 else 0
+        if ethertype == ETHERTYPE_IP and length >= 34:
+            proto = frame[23]
+            name = _PROTO_NAMES.get(proto, "other-ip")
+            self.protocols[name] = self.protocols.get(name, 0) + 1
+            flow = self._flow_key(frame, proto)
+            self.flows[flow] = self.flows.get(flow, 0) + 1
+        elif ethertype == ETHERTYPE_ARP:
+            self.protocols["arp"] = self.protocols.get("arp", 0) + 1
+        else:
+            self.protocols["other"] = self.protocols.get("other", 0) + 1
+
+    def add_packet(self, pkt: Packet) -> None:
+        self.add_frame(pkt.data_bytes())
+
+    @staticmethod
+    def _bin(length: int) -> int:
+        for edge in SIZE_BINS:
+            if length <= edge:
+                return edge
+        return SIZE_BINS[-1]
+
+    @staticmethod
+    def _flow_key(frame: bytes, proto: int) -> Tuple:
+        src = frame[26:30]
+        dst = frame[30:34]
+        ports = frame[34:38] if proto in (IP_PROTO_TCP, IP_PROTO_UDP) and len(frame) >= 38 else b""
+        return (bytes(src), bytes(dst), proto, bytes(ports))
+
+    # -- derived facts --------------------------------------------------------------
+
+    @property
+    def mean_len(self) -> float:
+        return self.bytes / self.packets if self.packets else 0.0
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    def protocol_share(self, name: str) -> float:
+        if not self.packets:
+            return 0.0
+        return self.protocols.get(name, 0) / self.packets
+
+    def top_flow_share(self, fraction: float = 0.1) -> float:
+        """Share of packets carried by the top ``fraction`` of flows --
+        the heavy-tail concentration metric."""
+        if not self.flows:
+            return 0.0
+        counts = sorted(self.flows.values(), reverse=True)
+        top_n = max(1, int(len(counts) * fraction))
+        return sum(counts[:top_n]) / self.packets
+
+    def format_report(self) -> str:
+        lines = [
+            "packets: %d" % self.packets,
+            "bytes: %d" % self.bytes,
+            "mean frame: %.1f B (min %d, max %d)"
+            % (self.mean_len, self.min_len if self.packets else 0, self.max_len),
+            "flows: %d (top-10%% carry %.0f%%)"
+            % (self.n_flows, self.top_flow_share() * 100),
+            "protocols: "
+            + ", ".join(
+                "%s %.1f%%" % (name, share * 100)
+                for name, share in sorted(
+                    ((n, self.protocol_share(n)) for n in self.protocols),
+                    key=lambda kv: -kv[1],
+                )
+            ),
+            "sizes: "
+            + ", ".join(
+                "<=%d: %d" % (edge, self.size_histogram.get(edge, 0))
+                for edge in SIZE_BINS
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def collect(frames_or_packets: Iterable) -> TraceStats:
+    """Build stats from an iterable of frames (bytes) or Packet objects."""
+    stats = TraceStats()
+    for item in frames_or_packets:
+        if isinstance(item, Packet):
+            stats.add_packet(item)
+        else:
+            stats.add_frame(item)
+    return stats

@@ -1,0 +1,92 @@
+"""ASCII chart rendering for experiment results.
+
+The paper's figures are throughput/latency curves; these helpers render
+the reproduced series directly in the terminal (benchmarks print them
+alongside the numeric tables), with one marker character per series and
+min/max-labelled axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+MARKERS = "xo*+#@%&"
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (xs, ys) series on one shared-axis character grid."""
+    if not series:
+        raise ValueError("no series to plot")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys) or not xs:
+            raise ValueError("series %r needs equal, non-empty xs/ys" % name)
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append("%s %s" % (marker, name))
+        for x, y in zip(xs, ys):
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = "%.4g" % y_max
+    y_bot = "%.4g" % y_min
+    margin = max(len(y_top), len(y_bot), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bot
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append("%*s |%s" % (margin, label, "".join(row)))
+    lines.append("%*s +%s" % (margin, "", "-" * width))
+    x_axis = "%.4g" % x_min + " " * max(1, width - len("%.4g" % x_min) - len("%.4g" % x_max)) + "%.4g" % x_max
+    lines.append("%*s  %s" % (margin, "", x_axis))
+    if x_label:
+        lines.append("%*s  %s" % (margin, "", x_label.center(width)))
+    lines.append("%*s  %s" % (margin, "", "   ".join(legend)))
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must pair up")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("need a positive maximum value")
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(
+            "%-*s |%-*s %.2f%s" % (label_width, label, width, bar, value, unit)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""NPF-style experiment orchestration (the paper's §B.2 workflow tool).
+
+The authors drive their testbed with the Network Performance Framework:
+declare variables, run every combination several times with randomized
+environments, and report medians.  This module provides the same
+workflow over simulated binaries: a grid of variables, a runner callable,
+per-repeat seed randomization (the stand-in for NPF's ASLR/env-var
+randomization that fights measurement bias, §5), medians across repeats,
+and CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.perf.stats import percentile
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One experiment axis."""
+
+    name: str
+    values: Sequence
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError("variable %r has no values" % self.name)
+
+
+@dataclass
+class TestResult:
+    """All repeats of one grid point."""
+
+    point: Dict[str, object]
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+
+    def median(self, metric: str) -> float:
+        return percentile(self.metrics[metric], 50)
+
+    def spread(self, metric: str) -> float:
+        """Max relative deviation from the median across repeats."""
+        med = self.median(metric)
+        if med == 0:
+            return 0.0
+        return max(abs(v - med) / abs(med) for v in self.metrics[metric])
+
+
+class ResultSet:
+    """Results for a whole grid."""
+
+    def __init__(self, name: str, variables: Sequence[str], metrics: Sequence[str]):
+        self.name = name
+        self.variables = list(variables)
+        self.metric_names = list(metrics)
+        self.results: List[TestResult] = []
+
+    def add(self, result: TestResult) -> None:
+        self.results.append(result)
+
+    def rows(self) -> List[Dict[str, object]]:
+        out = []
+        for result in self.results:
+            row = dict(result.point)
+            for metric in self.metric_names:
+                row[metric] = result.median(metric)
+            out.append(row)
+        return out
+
+    def column(self, metric: str) -> List[float]:
+        return [r.median(metric) for r in self.results]
+
+    def filtered(self, **conditions) -> List[TestResult]:
+        return [
+            r
+            for r in self.results
+            if all(r.point.get(k) == v for k, v in conditions.items())
+        ]
+
+    def to_csv(self, path: str) -> None:
+        fieldnames = self.variables + self.metric_names
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for row in self.rows():
+                writer.writerow({k: row[k] for k in fieldnames})
+
+    def format(self) -> str:
+        header = "  ".join("%12s" % c for c in self.variables + self.metric_names)
+        lines = [self.name, header]
+        for row in self.rows():
+            cells = []
+            for column in self.variables + self.metric_names:
+                value = row[column]
+                cells.append("%12s" % (("%.3f" % value) if isinstance(value, float) else value))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+class NpfRunner:
+    """Run a runner callable over a variable grid with repeats."""
+
+    def __init__(self, repeats: int = 3, base_seed: int = 1000):
+        if repeats < 1:
+            raise ValueError("need at least one repeat")
+        self.repeats = repeats
+        self.base_seed = base_seed
+
+    def run(
+        self,
+        name: str,
+        variables: Sequence[Variable],
+        runner: Callable[..., Mapping[str, float]],
+    ) -> ResultSet:
+        """``runner(seed=..., **point)`` must return a metric dict."""
+        names = [v.name for v in variables]
+        metric_names: List[str] = []
+        result_set = None
+        for combo in itertools.product(*(v.values for v in variables)):
+            point = dict(zip(names, combo))
+            result = TestResult(point=point)
+            for repeat in range(self.repeats):
+                seed = self.base_seed + 17 * repeat  # randomized environment
+                metrics = runner(seed=seed, **point)
+                if not metric_names:
+                    metric_names = list(metrics)
+                for key, value in metrics.items():
+                    result.metrics.setdefault(key, []).append(float(value))
+            if result_set is None:
+                result_set = ResultSet(name, names, metric_names)
+            result_set.add(result)
+        if result_set is None:
+            raise ValueError("empty variable grid")
+        return result_set

@@ -1,0 +1,155 @@
+"""Per-element profiling: where do the packet's nanoseconds go?
+
+The paper's premise for specialization is that "for a given network
+function and workload there is a subset of all execution paths that are
+very frequently used".  This profiler attributes the hardware model's
+costs to individual elements (plus the PMD RX/TX paths and graph
+dispatch), producing the breakdown a perf-record session would give on
+the real system -- and the input a PGO-style workflow would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.binary import SpecializedBinary
+
+
+@dataclass
+class ElementProfile:
+    """Accumulated cost of one element (or pseudo-element)."""
+
+    name: str
+    class_name: str
+    packets: int = 0
+    ns: float = 0.0
+    instructions: float = 0.0
+
+    @property
+    def ns_per_packet(self) -> float:
+        return self.ns / self.packets if self.packets else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """The whole run's attribution."""
+
+    total_ns: float
+    total_packets: int
+    elements: Dict[str, ElementProfile] = field(default_factory=dict)
+
+    def sorted_by_cost(self) -> List[ElementProfile]:
+        return sorted(self.elements.values(), key=lambda e: -e.ns)
+
+    def share(self, name: str) -> float:
+        if self.total_ns == 0:
+            return 0.0
+        return self.elements[name].ns / self.total_ns
+
+    def hottest(self) -> ElementProfile:
+        return self.sorted_by_cost()[0]
+
+    def format_table(self) -> str:
+        lines = [
+            "%-26s %-18s %10s %10s %7s"
+            % ("element", "class", "ns/pkt", "instr/pkt", "share"),
+        ]
+        for profile in self.sorted_by_cost():
+            if profile.packets == 0:
+                continue
+            lines.append(
+                "%-26s %-18s %10.2f %10.1f %6.1f%%"
+                % (
+                    profile.name,
+                    profile.class_name,
+                    profile.ns_per_packet,
+                    profile.instructions / profile.packets,
+                    self.share(profile.name) * 100,
+                )
+            )
+        lines.append("total: %.1f ns/packet over %d packets"
+                     % (self.total_ns / max(1, self.total_packets),
+                        self.total_packets))
+        return "\n".join(lines)
+
+
+class ElementProfiler:
+    """Attribute a binary's run cost to its elements.
+
+    Wraps the driver's per-element charging and the PMDs' burst methods
+    with cost snapshots.  Profiling perturbs nothing: it reads the same
+    accumulators the measurement uses.
+    """
+
+    def __init__(self, binary: SpecializedBinary):
+        self.binary = binary
+
+    def profile(self, batches: int = 150, warmup_batches: int = 80) -> ProfileReport:
+        binary = self.binary
+        driver = binary.driver
+        cpu = binary.cpu
+        profiles: Dict[str, ElementProfile] = {}
+        for element in binary.graph.all_elements():
+            profiles[element.name] = ElementProfile(
+                element.name, element.decl.class_name
+            )
+        rx_profile = profiles["<pmd-rx>"] = ElementProfile("<pmd-rx>", "MlxPmd")
+        tx_profile = profiles["<pmd-tx>"] = ElementProfile("<pmd-tx>", "MlxPmd")
+
+        original_charge = driver._charge_element
+
+        def charging_wrapper(element, batch):
+            before = cpu.elapsed_ns()
+            before_instr = cpu.instructions
+            original_charge(element, batch)
+            profile = profiles[element.name]
+            profile.ns += cpu.elapsed_ns() - before
+            profile.instructions += cpu.instructions - before_instr
+            profile.packets += len(batch)
+
+        wrapped_pmds = []
+        for pmd in binary.pmds.values():
+            original_rx = pmd.rx_burst
+            original_tx = pmd.tx_burst
+
+            def rx_wrapper(max_burst, _orig=original_rx):
+                before = cpu.elapsed_ns()
+                before_instr = cpu.instructions
+                out = _orig(max_burst)
+                rx_profile.ns += cpu.elapsed_ns() - before
+                rx_profile.instructions += cpu.instructions - before_instr
+                rx_profile.packets += len(out)
+                return out
+
+            def tx_wrapper(packets, _orig=original_tx):
+                before = cpu.elapsed_ns()
+                before_instr = cpu.instructions
+                sent = _orig(packets)
+                tx_profile.ns += cpu.elapsed_ns() - before
+                tx_profile.instructions += cpu.instructions - before_instr
+                tx_profile.packets += sent
+                return sent
+
+            wrapped_pmds.append((pmd, original_rx, original_tx))
+            pmd.rx_burst = rx_wrapper
+            pmd.tx_burst = tx_wrapper
+
+        driver._charge_element = charging_wrapper
+        try:
+            binary.warmup(warmup_batches)
+            for profile in profiles.values():
+                profile.packets = 0
+                profile.ns = 0.0
+                profile.instructions = 0.0
+            run = binary.run(batches)
+        finally:
+            driver._charge_element = original_charge
+            for pmd, original_rx, original_tx in wrapped_pmds:
+                pmd.rx_burst = original_rx
+                pmd.tx_burst = original_tx
+        return ProfileReport(
+            total_ns=run.elapsed_ns,
+            total_packets=run.packets,
+            elements=profiles,
+        )

@@ -1,0 +1,121 @@
+"""Saturated-throughput measurement with physical rate ceilings.
+
+The hardware model yields a CPU service rate (packets/s one core can
+process); the *achieved* rate is additionally bounded by the 100-Gbps
+link, the PCIe link, and the non-vectorized MLX5 single-queue ceiling --
+the "other bottlenecks" that flatten Fig. 5's curves at high frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.binary import MeasuredRun, SpecializedBinary
+from repro.dpdk.pcie import PcieModel
+
+
+@dataclass
+class ThroughputPoint:
+    """One steady-state throughput measurement."""
+
+    pps: float
+    gbps: float
+    cpu_pps: float
+    ns_per_packet: float
+    mean_frame_len: float
+    bound_by: str  # "cpu" | "queue" | "pcie" | "link"
+    run: MeasuredRun
+
+    @property
+    def mpps(self) -> float:
+        return self.pps / 1e6
+
+    def counter_per_window(self, name: str, window_s: float = 0.1) -> float:
+        """perf-style events per 100 ms at the achieved rate."""
+        return self.run.counters[name] / self.run.packets * self.pps * window_s
+
+
+def _apply_ceilings(cpu_pps: float, frame_len: float, params, n_ports: int):
+    """Clamp the CPU rate by the per-port physical limits."""
+    pcie = PcieModel(params)
+    limits = {
+        "cpu": cpu_pps,
+        "queue": params.nic_queue_pps_limit * n_ports,
+        "pcie": pcie.pps_limit(frame_len) * n_ports,
+        "link": params.line_rate_pps(frame_len) * n_ports,
+    }
+    bound_by = min(limits, key=limits.get)
+    return limits[bound_by], bound_by
+
+
+def measure_throughput(
+    binary: SpecializedBinary,
+    batches: int = 250,
+    warmup_batches: int = 120,
+) -> ThroughputPoint:
+    """Measure one binary at saturation."""
+    run = binary.measure(batches=batches, warmup_batches=warmup_batches)
+    cpu_pps = 1e9 / run.ns_per_packet
+    frame = run.mean_frame_len or 64.0
+    n_ports = len(binary.pmds)
+    pps, bound_by = _apply_ceilings(cpu_pps, frame, binary.params, n_ports)
+    return ThroughputPoint(
+        pps=pps,
+        gbps=pps * frame * 8 / 1e9,
+        cpu_pps=cpu_pps,
+        ns_per_packet=run.ns_per_packet,
+        mean_frame_len=frame,
+        bound_by=bound_by,
+        run=run,
+    )
+
+
+def measure_multicore(
+    binaries: Sequence[SpecializedBinary],
+    batches: int = 200,
+    warmup_batches: int = 100,
+) -> ThroughputPoint:
+    """Aggregate throughput of per-core replicas sharing the LLC.
+
+    Cores are simulated round-robin so their cache footprints really
+    contend in the shared LLC; the aggregate rate is the sum of per-core
+    service rates, clamped by the shared link/PCIe (RSS splits one port's
+    traffic, so the port ceilings apply to the *sum*).
+    """
+    if not binaries:
+        raise ValueError("no binaries")
+    for binary in binaries:
+        binary.warmup(warmup_batches)
+    # Interleave so LLC contention between replicas is realistic.
+    for _ in range(batches):
+        for binary in binaries:
+            binary.driver.step()
+    runs: List[MeasuredRun] = [b.run(0) for b in binaries]
+    total_cpu_pps = sum(1e9 / r.ns_per_packet for r in runs)
+    frame = runs[0].mean_frame_len or 64.0
+    params = binaries[0].params
+    n_ports = len(binaries[0].pmds)
+    # RSS: every core adds a queue, so the queue ceiling scales with cores.
+    queue_limit = params.nic_queue_pps_limit * len(binaries) * n_ports
+    pcie_limit = PcieModel(params).pps_limit(frame) * n_ports
+    link_limit = params.line_rate_pps(frame) * n_ports
+    limits = {
+        "cpu": total_cpu_pps,
+        "queue": queue_limit,
+        "pcie": pcie_limit,
+        "link": link_limit,
+    }
+    bound_by = min(limits, key=limits.get)
+    pps = limits[bound_by]
+    total_packets = sum(r.packets for r in runs)
+    total_ns = sum(r.elapsed_ns for r in runs)
+    return ThroughputPoint(
+        pps=pps,
+        gbps=pps * frame * 8 / 1e9,
+        cpu_pps=total_cpu_pps,
+        ns_per_packet=total_ns / total_packets if total_packets else float("inf"),
+        mean_frame_len=frame,
+        bound_by=bound_by,
+        run=runs[0],
+    )

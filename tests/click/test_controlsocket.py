@@ -1,0 +1,106 @@
+"""Tests for the ControlSocket protocol."""
+
+import pytest
+
+from repro.click.controlsocket import (
+    PROTOCOL_BANNER,
+    ControlSocketSession,
+    parse_read_response,
+)
+from repro.core import nfs
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+
+@pytest.fixture
+def session():
+    trace = lambda port, core: FixedSizeTraceGenerator(256, TraceSpec(seed=1))
+    binary = PacketMill(nfs.router(), BuildOptions.vanilla(),
+                        params=MachineParams(), trace=trace).build()
+    binary.driver.run_batches(3)
+    return ControlSocketSession(binary.graph)
+
+
+class TestProtocol:
+    def test_banner(self, session):
+        assert session.banner() == PROTOCOL_BANNER
+
+    def test_read(self, session):
+        response = session.handle("READ rt.nroutes")
+        assert response.startswith("200")
+        assert parse_read_response(response) == "5"
+
+    def test_read_data_length(self, session):
+        response = session.handle("READ rt.nroutes")
+        assert "DATA 1" in response
+
+    def test_read_unknown_handler(self, session):
+        assert session.handle("READ rt.bogus").startswith("501")
+
+    def test_read_unknown_element(self, session):
+        assert session.handle("READ ghost.count").startswith("501")
+
+    def test_read_missing_arg(self, session):
+        assert session.handle("READ").startswith("500")
+
+    def test_write(self, session):
+        config = "f :: FromDPDKDevice(0) -> cnt :: Counter -> Discard;"
+        trace = lambda port, core: FixedSizeTraceGenerator(64, TraceSpec(seed=1))
+        binary = PacketMill(config, BuildOptions.vanilla(),
+                            params=MachineParams(), trace=trace).build()
+        binary.driver.run_batches(1)
+        s = ControlSocketSession(binary.graph)
+        assert parse_read_response(s.handle("READ cnt.count")) == "32"
+        assert s.handle("WRITE cnt.reset").startswith("200")
+        assert parse_read_response(s.handle("READ cnt.count")) == "0"
+
+    def test_write_read_only_handler(self, session):
+        assert session.handle("WRITE rt.nroutes 3").startswith("501")
+
+    def test_checkread_checkwrite(self, session):
+        assert session.handle("CHECKREAD rt.nroutes").startswith("200")
+        assert session.handle("CHECKWRITE rt.nroutes").startswith("501")
+
+    def test_list(self, session):
+        response = session.handle("LIST")
+        assert response.startswith("200")
+        payload = parse_read_response(response)
+        assert "rt" in payload.splitlines()
+
+    def test_handlers(self, session):
+        response = session.handle("HANDLERS rt")
+        assert "nroutes" in response
+
+    def test_handlers_unknown_element(self, session):
+        assert session.handle("HANDLERS nope").startswith("501")
+
+    def test_unknown_command(self, session):
+        assert session.handle("FROB x").startswith("500")
+
+    def test_empty_command(self, session):
+        assert session.handle("   ").startswith("500")
+
+    def test_quit_closes(self, session):
+        assert session.handle("QUIT").startswith("200")
+        assert session.handle("READ rt.nroutes").startswith("500")
+
+    def test_script(self, session):
+        responses = session.handle_script(["LIST", "READ rt.nroutes"])
+        assert all(r.startswith("200") for r in responses)
+
+    def test_case_insensitive_verbs(self, session):
+        assert session.handle("read rt.nroutes").startswith("200")
+
+
+class TestParseReadResponse:
+    def test_error_response_is_none(self):
+        assert parse_read_response("501 nope") is None
+
+    def test_malformed_response_is_none(self):
+        assert parse_read_response("200 OK but no data") is None
+
+    def test_multiline_payload(self):
+        response = "200 Read handler OK\nDATA 3\na\nb"
+        assert parse_read_response(response) == "a\nb"

@@ -1,0 +1,106 @@
+"""Tests for the cuckoo hash table, including hypothesis model checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.click.elements.cuckoo import (
+    BUCKET_SLOTS,
+    CuckooFullError,
+    CuckooHashTable,
+)
+
+
+class TestBasics:
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(n_buckets=100)
+        with pytest.raises(ValueError):
+            CuckooHashTable(n_buckets=1)
+
+    def test_insert_lookup(self):
+        table = CuckooHashTable(n_buckets=16)
+        table.insert(("flow", 1), "a")
+        assert table.lookup(("flow", 1)) == "a"
+        assert table.lookup(("flow", 2)) is None
+
+    def test_update_in_place(self):
+        table = CuckooHashTable(n_buckets=16)
+        table.insert("k", 1)
+        table.insert("k", 2)
+        assert table.lookup("k") == 2
+        assert table.entries == 1
+
+    def test_contains(self):
+        table = CuckooHashTable(n_buckets=16)
+        table.insert("k", 1)
+        assert "k" in table
+        assert "missing" not in table
+
+    def test_delete(self):
+        table = CuckooHashTable(n_buckets=16)
+        table.insert("k", 1)
+        assert table.delete("k")
+        assert table.lookup("k") is None
+        assert not table.delete("k")
+        assert table.entries == 0
+
+    def test_displacement_fills_past_one_bucket(self):
+        """More inserts than one bucket holds must still all be found."""
+        table = CuckooHashTable(n_buckets=64)
+        keys = [("k", i) for i in range(BUCKET_SLOTS * 20)]
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        for i, key in enumerate(keys):
+            assert table.lookup(key) == i
+
+    def test_high_load_factor_reachable(self):
+        table = CuckooHashTable(n_buckets=64)
+        inserted = 0
+        try:
+            for i in range(table.capacity):
+                table.insert(("key", i), i)
+                inserted += 1
+        except CuckooFullError:
+            pass
+        assert table.load_factor() > 0.8, "cuckoo should fill past 80%%: %d" % inserted
+
+    def test_items_iteration(self):
+        table = CuckooHashTable(n_buckets=16)
+        data = {("k", i): i for i in range(10)}
+        for key, value in data.items():
+            table.insert(key, value)
+        assert dict(table.items()) == data
+
+    def test_footprint(self):
+        table = CuckooHashTable(n_buckets=1024)
+        assert table.footprint_bytes() == 1024 * BUCKET_SLOTS * 16
+
+
+class TestModelBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "lookup"]),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=200,
+        )
+    )
+    def test_matches_dict_model(self, operations):
+        """The cuckoo table behaves exactly like a dict."""
+        table = CuckooHashTable(n_buckets=64)
+        model = {}
+        for op, key in operations:
+            if op == "insert":
+                table.insert(key, key * 2)
+                model[key] = key * 2
+            elif op == "delete":
+                assert table.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert table.lookup(key) == model.get(key)
+            assert table.entries == len(model)
+        for key, value in model.items():
+            assert table.lookup(key) == value

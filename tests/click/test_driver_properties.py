@@ -1,0 +1,109 @@
+"""Property-based invariants of the driver and the config parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.click.config import parse_config
+from repro.core.options import BuildOptions, MetadataModel
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+# A tiny config family: a classifier fans out into drop/forward legs.
+CONFIG_TEMPLATE = """
+input :: FromDPDKDevice(PORT 0, BURST %(burst)d);
+output :: ToDPDKDevice(PORT 0, BURST %(burst)d);
+c :: Classifier(%(patterns)s);
+input -> c;
+%(wiring)s
+"""
+
+
+def build_config(n_forward, n_drop, burst):
+    """n_forward legs go to output, n_drop legs are left unconnected."""
+    patterns = ["12/0800"] * (n_forward + n_drop - 1) + ["-"]
+    wiring = []
+    for i in range(n_forward):
+        wiring.append("c[%d] -> EtherMirror -> output;" % i)
+    # Remaining ports unwired -> dropped by the driver.
+    return CONFIG_TEMPLATE % {
+        "burst": burst,
+        "patterns": ", ".join(patterns),
+        "wiring": "\n".join(wiring),
+    }
+
+
+class TestDriverConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_forward=st.integers(min_value=1, max_value=3),
+        n_drop=st.integers(min_value=0, max_value=2),
+        burst=st.sampled_from([8, 32]),
+        batches=st.integers(min_value=3, max_value=12),
+    )
+    def test_every_packet_is_forwarded_or_dropped(self, n_forward, n_drop,
+                                                  burst, batches):
+        """rx == tx + drops, and no mempool leak, for any graph shape.
+
+        The classifier sends all IPv4 to port 0, so with n_forward >= 1
+        everything forwards; drop legs exercise the kill path when the
+        first pattern port is unwired.
+        """
+        config = build_config(n_forward, n_drop, burst)
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=1))
+        params = MachineParams(rx_ring_size=256, tx_ring_size=256)
+        binary = PacketMill(config, BuildOptions.vanilla(), params=params,
+                            trace=trace).build()
+        stats = binary.driver.run_batches(batches)
+        assert stats.rx_packets == stats.tx_packets + stats.drops
+        pool = binary.model.mempool
+        outstanding = pool.gets - pool.puts
+        in_flight = (
+            binary.pmds[0].nic.rx_ring.count + binary.pmds[0].nic.tx_ring.count
+        )
+        assert outstanding == in_flight
+
+    @settings(max_examples=6, deadline=None)
+    @given(model=st.sampled_from(list(MetadataModel)))
+    def test_conservation_across_models(self, model):
+        config = build_config(1, 1, 32)
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        options = BuildOptions(metadata_model=model,
+                               lto=model is not MetadataModel.COPYING)
+        binary = PacketMill(config, options, params=MachineParams(),
+                            trace=trace).build()
+        stats = binary.driver.run_batches(8)
+        assert stats.rx_packets == stats.tx_packets + stats.drops
+        assert stats.rx_packets == 8 * 32
+
+
+class TestParserProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        names=st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+            min_size=2, max_size=6, unique=True,
+        )
+    )
+    def test_linear_chain_roundtrip(self, names):
+        """Any linear chain of declared Counters parses to n-1 connections."""
+        decls = "\n".join("%s :: Counter;" % n for n in names)
+        chain = " -> ".join(names) + ";"
+        ast = parse_config(decls + "\n" + chain)
+        assert len(ast.connections) == len(names) - 1
+        for i, conn in enumerate(ast.connections):
+            assert conn.src == names[i]
+            assert conn.dst == names[i + 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ports=st.lists(st.integers(min_value=0, max_value=9),
+                       min_size=1, max_size=5, unique=True)
+    )
+    def test_port_fanout_roundtrip(self, ports):
+        lines = ["c :: Counter;"]
+        for port in ports:
+            lines.append("d%d :: Counter;" % port)
+            lines.append("c[%d] -> d%d;" % (port, port))
+        ast = parse_config("\n".join(lines))
+        assert {c.src_port for c in ast.connections} == set(ports)

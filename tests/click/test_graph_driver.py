@@ -1,0 +1,190 @@
+"""Tests for graph building and the run-to-completion driver."""
+
+import pytest
+
+from repro.click.config.lexer import ConfigError
+from repro.click.driver import (
+    DISPATCH_DIRECT,
+    DISPATCH_INLINE,
+    DISPATCH_VIRTUAL,
+    DispatchPolicy,
+)
+from repro.click.graph import ProcessingGraph
+from repro.core import nfs
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.cpu import CpuCore
+from repro.hw.memory import MemorySystem
+from repro.hw.params import MachineParams
+from repro.net.trace import CampusTraceGenerator, FixedSizeTraceGenerator, TraceSpec
+
+
+class TestProcessingGraph:
+    def test_router_graph_builds(self):
+        graph = ProcessingGraph.from_text(nfs.router())
+        assert len(graph) == 9
+        assert graph.element("c").n_outputs == 3
+
+    def test_wiring(self):
+        graph = ProcessingGraph.from_text(nfs.forwarder())
+        src = graph.element("input")
+        mirror, port = src.target(0)
+        assert mirror.decl.class_name == "EtherMirror"
+        assert port == 0
+
+    def test_sources(self):
+        graph = ProcessingGraph.from_text(nfs.forwarder_two_nics())
+        assert {e.name for e in graph.sources()} == {"in0", "in1"}
+
+    def test_bad_output_port_rejected(self):
+        with pytest.raises(ConfigError):
+            ProcessingGraph.from_text("a :: Counter; b :: Discard; a[3] -> b;")
+
+    def test_bad_input_port_rejected(self):
+        with pytest.raises(ConfigError):
+            ProcessingGraph.from_text("a :: Counter; b :: Discard; a -> [2]b;")
+
+    def test_reachability(self):
+        graph = ProcessingGraph.from_text(nfs.router())
+        reachable = graph.reachable_from(graph.element("input"))
+        names = {e.name for e in reachable}
+        assert "c" in names and "rt" in names and "output" in names
+
+    def test_all_elements_deterministic(self):
+        a = [e.name for e in ProcessingGraph.from_text(nfs.router()).all_elements()]
+        b = [e.name for e in ProcessingGraph.from_text(nfs.router()).all_elements()]
+        assert a == b
+
+    def test_by_class(self):
+        graph = ProcessingGraph.from_text(nfs.forwarder_two_nics())
+        assert len(graph.by_class("FromDPDKDevice")) == 2
+
+
+def build(config, options=None, frame=128, freq=2.3, seed=0):
+    params = MachineParams(freq_ghz=freq)
+    trace = lambda port, core: FixedSizeTraceGenerator(frame, TraceSpec(seed=seed + port))
+    return PacketMill(config, options or BuildOptions.vanilla(), params=params,
+                      trace=trace, seed=seed).build()
+
+
+class TestDriverFunctional:
+    def test_forwarder_forwards_everything(self):
+        binary = build(nfs.forwarder())
+        stats = binary.driver.run_batches(20)
+        assert stats.rx_packets == 20 * 32
+        assert stats.tx_packets == stats.rx_packets
+        assert stats.drops == 0
+
+    def test_forwarder_swaps_macs(self):
+        binary = build(nfs.forwarder())
+        binary.driver.run_batches(5)
+        # The NIC transmitted packets whose MACs were swapped: DUT MAC as
+        # destination became the source.
+        nic = binary.pmds[0].nic
+        assert nic.tx_sent == 5 * 32
+
+    def test_router_routes_ip_traffic(self):
+        binary = build(nfs.router())
+        stats = binary.driver.run_batches(20)
+        assert stats.rx_packets == 640
+        assert stats.tx_packets == 640
+        assert stats.drops == 0
+
+    def test_router_decrements_ttl_functionally(self):
+        binary = build(nfs.router())
+        # Pull one packet through manually to inspect the transformation.
+        pmd = binary.pmds[0]
+        pkt = pmd.rx_burst(1)[0]
+        ttl_before = pkt.data_bytes()[22]
+        tx_queue = {}
+        classifier = binary.graph.element("input").target(0)[0]
+        binary.driver._push_batch(classifier, [pkt], tx_queue)
+        assert pkt.ip().ttl == ttl_before - 1
+        assert pkt.ip().verify()
+        assert len(tx_queue) == 1
+
+    def test_expired_ttl_dropped(self):
+        params = MachineParams()
+        trace = lambda port, core: FixedSizeTraceGenerator(
+            128, TraceSpec(seed=1, pool_size=32)
+        )
+        binary = PacketMill(nfs.router(), BuildOptions.vanilla(), params=params,
+                            trace=trace).build()
+        # Rewrite the trace pool to TTL=1 frames.
+        gen = binary.pmds[0].nic.trace
+        from repro.net.trace import build_frame
+
+        gen._pool = [
+            build_frame(flow, 128, ttl=1) for flow in gen._pool_flows
+        ]
+        stats = binary.driver.run_batches(4)
+        assert stats.tx_packets == 0
+        assert stats.drops == stats.rx_packets
+        dropper = binary.graph.element(next(iter(stats.drops_by_element)))
+        assert dropper.decl.class_name == "DecIPTTL"
+
+    def test_ids_router_vlan_encapsulates(self):
+        binary = build(nfs.ids_router())
+        stats = binary.driver.run_batches(10)
+        assert stats.tx_packets == stats.rx_packets
+        vlan = binary.graph.by_class("VLANEncap")[0]
+        assert vlan.encapsulated == stats.rx_packets
+
+    def test_nat_router_translates(self):
+        binary = build(nfs.nat_router())
+        stats = binary.driver.run_batches(10)
+        nat = binary.graph.by_class("IPRewriter")[0]
+        assert stats.tx_packets == stats.rx_packets
+        assert nat.rewrites > 0
+        assert nat.new_flows <= nat.rewrites
+
+    def test_campus_trace_router_end_to_end(self):
+        params = MachineParams()
+        binary = PacketMill(nfs.router(), BuildOptions.packetmill(), params=params,
+                            trace=lambda p, c: CampusTraceGenerator(TraceSpec(seed=9))).build()
+        stats = binary.driver.run_batches(30)
+        assert stats.tx_packets == stats.rx_packets
+        assert stats.drops == 0
+
+
+class TestDispatchPolicy:
+    def _cpu(self):
+        params = MachineParams()
+        return CpuCore(params, MemorySystem(params)), params
+
+    def _element(self):
+        graph = ProcessingGraph.from_text(nfs.forwarder())
+        return graph.element("input")
+
+    def test_virtual_costs_most(self):
+        cpu, params = self._cpu()
+        element = self._element()
+        DispatchPolicy(DISPATCH_VIRTUAL).charge(cpu, element, params)
+        virtual_ns = cpu.elapsed_ns()
+        cpu.reset()
+        DispatchPolicy(DISPATCH_DIRECT).charge(cpu, element, params)
+        direct_ns = cpu.elapsed_ns()
+        cpu.reset()
+        DispatchPolicy(DISPATCH_INLINE, static_segment=True).charge(cpu, element, params)
+        inline_ns = cpu.elapsed_ns()
+        assert virtual_ns > direct_ns > inline_ns
+
+    def test_virtual_counts_branch_misses(self):
+        cpu, params = self._cpu()
+        DispatchPolicy(DISPATCH_VIRTUAL).charge(cpu, self._element(), params)
+        assert cpu.counters.branch_misses >= 0  # expectation accumulates
+
+    def test_static_segment_dispatch_warms_up(self):
+        """Static-segment dispatch loads hit L1 after the first batch."""
+        cpu, params = self._cpu()
+        element = self._element()
+        from repro.hw.layout import AddressSpace
+
+        element.state_region = AddressSpace().alloc_static("e", 64)
+        policy = DispatchPolicy(DISPATCH_DIRECT, static_segment=True)
+        policy.charge(cpu, element, params)
+        cold = cpu.elapsed_ns()
+        cpu.reset()
+        policy.charge(cpu, element, params)
+        warm = cpu.elapsed_ns()
+        assert warm < cold

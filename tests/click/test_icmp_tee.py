@@ -1,0 +1,163 @@
+"""Tests for ICMPError, Tee, and app-originated buffer allocation."""
+
+import pytest
+
+from repro.click.config.ast import Declaration
+from repro.click.element import ElementConfigError
+from repro.click.elements.icmp_error import ICMPError
+from repro.click.elements.ip import CheckIPHeader
+from repro.click.elements.tee import Tee
+from repro.core import nfs
+from repro.core.options import BuildOptions, MetadataModel
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.addresses import IPv4Address
+from repro.net.flows import PROTO_ICMP, PROTO_TCP, FlowSpec
+from repro.net.packet import Packet
+from repro.net.protocols import IP_PROTO_ICMP
+from repro.net.protocols.icmp import IcmpHeader
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec, build_frame
+
+
+def make(cls, config=""):
+    return cls("t", Declaration("t", cls.class_name, config))
+
+
+def offending_packet(proto=PROTO_TCP, ttl=1):
+    flow = FlowSpec(IPv4Address("10.0.0.7"), IPv4Address("192.168.0.1"),
+                    proto, 1234, 80)
+    pkt = Packet(build_frame(flow, 128, ttl=ttl))
+    make(CheckIPHeader, "14").process(pkt)
+    return pkt
+
+
+class TestICMPError:
+    def _element(self):
+        return make(ICMPError, "192.168.1.1, timeexceeded")
+
+    def test_builds_time_exceeded(self):
+        element = self._element()
+        pkt = offending_packet()
+        assert element.process(pkt) == 0
+        ip = pkt.ip()
+        assert ip.proto == IP_PROTO_ICMP
+        assert ip.src == IPv4Address("192.168.1.1")
+        assert ip.dst == IPv4Address("10.0.0.7")  # back to the offender
+        assert ip.verify()
+
+    def test_icmp_header_and_quote(self):
+        element = self._element()
+        pkt = offending_packet()
+        original_ip = bytes(pkt.data()[14:42])  # IP header + 8 bytes
+        element.process(pkt)
+        icmp = pkt.icmp()
+        assert icmp.icmp_type == IcmpHeader.TIME_EXCEEDED
+        assert icmp.verify(payload_len=28)
+        quoted = pkt.data_bytes()[42:70]
+        assert quoted == original_ip
+
+    def test_ether_addresses_reversed(self):
+        element = self._element()
+        pkt = offending_packet()
+        src_before = pkt.ether().src
+        element.process(pkt)
+        assert pkt.ether().dst == src_before
+
+    def test_never_answers_icmp(self):
+        element = self._element()
+        assert element.process(offending_packet(proto=PROTO_ICMP)) is None
+        assert element.errors_sent == 0
+
+    def test_numeric_type_and_code(self):
+        element = make(ICMPError, "10.0.0.1, 3, 1")
+        pkt = offending_packet()
+        element.process(pkt)
+        assert pkt.icmp().icmp_type == 3
+        assert pkt.icmp().code == 1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ElementConfigError):
+            make(ICMPError, "10.0.0.1")
+        with pytest.raises(ElementConfigError):
+            make(ICMPError, "10.0.0.1, weird")
+
+    def test_router_icmp_path_end_to_end(self):
+        """Expired-TTL packets come back as ICMP errors, not drops."""
+        trace = lambda port, core: FixedSizeTraceGenerator(
+            128, TraceSpec(seed=1, pool_size=16)
+        )
+        binary = PacketMill(nfs.router(icmp_errors=True), BuildOptions.vanilla(),
+                            params=MachineParams(), trace=trace).build()
+        gen = binary.pmds[0].nic.trace
+        gen._pool = [build_frame(flow, 128, ttl=1) for flow in gen._pool_flows]
+        stats = binary.driver.run_batches(4)
+        assert stats.tx_packets == stats.rx_packets  # all returned as errors
+        icmp_el = binary.graph.by_class("ICMPError")[0]
+        assert icmp_el.errors_sent == stats.rx_packets
+
+
+TEE_CONFIG = """
+input :: FromDPDKDevice(PORT 0, BURST 16);
+out0 :: ToDPDKDevice(PORT 0, BURST 16);
+tap :: Counter;
+input -> t :: Tee(2);
+t[0] -> EtherMirror -> out0;
+t[1] -> tap -> Discard;
+"""
+
+
+class TestTee:
+    def test_configure(self):
+        element = make(Tee, "3")
+        assert element.n_outputs == 3
+        with pytest.raises(ElementConfigError):
+            make(Tee, "0")
+
+    def test_pipeline_duplicates(self):
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        binary = PacketMill(TEE_CONFIG, BuildOptions.vanilla(),
+                            params=MachineParams(), trace=trace).build()
+        stats = binary.driver.run_batches(10)
+        tee = binary.graph.element("t")
+        tap = binary.graph.element("tap")
+        assert stats.rx_packets == 160
+        assert stats.tx_packets == 160          # originals forwarded
+        assert tap.packets == 160               # clones counted
+        assert tee.cloned == 160
+        assert stats.drops == 160               # clones discarded
+
+    def test_no_buffer_leak_with_clones(self):
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        binary = PacketMill(TEE_CONFIG, BuildOptions.vanilla(),
+                            params=MachineParams(), trace=trace).build()
+        binary.driver.run_batches(100)
+        assert binary.model.mempool.available > 0
+
+    def test_clone_is_data_independent(self):
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        binary = PacketMill(TEE_CONFIG, BuildOptions.vanilla(),
+                            params=MachineParams(), trace=trace).build()
+        pmd = binary.pmds[0]
+        pkt = pmd.rx_burst(1)[0]
+        clone = binary.driver._clone_packet(binary.graph.element("t"), pkt)
+        assert clone.data_bytes() == pkt.data_bytes()
+        assert clone.mbuf is not pkt.mbuf
+        clone.data()[0] ^= 0xFF
+        assert clone.data_bytes() != pkt.data_bytes()
+
+    def test_tinynf_rejects_tee(self):
+        from repro.core.packetmill import BuildError
+
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        with pytest.raises(BuildError):
+            PacketMill(TEE_CONFIG,
+                       BuildOptions(metadata_model=MetadataModel.TINYNF, lto=True),
+                       params=MachineParams(), trace=trace).build()
+
+    def test_xchange_supports_tee(self):
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=2))
+        binary = PacketMill(TEE_CONFIG,
+                            BuildOptions(metadata_model=MetadataModel.XCHANGE, lto=True),
+                            params=MachineParams(), trace=trace).build()
+        stats = binary.driver.run_batches(5)
+        assert stats.tx_packets == 80

@@ -1,0 +1,138 @@
+"""Tests for IPFilter and its expression language."""
+
+import pytest
+
+from repro.click.config.ast import Declaration
+from repro.click.element import ElementConfigError
+from repro.click.elements.ip import CheckIPHeader
+from repro.click.elements.ipfilter import IPFilter, parse_filter_expression
+from repro.net.addresses import IPv4Address
+from repro.net.flows import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowSpec
+from repro.net.packet import Packet
+from repro.net.trace import build_frame
+
+
+def make_filter(config):
+    return IPFilter("f", Declaration("f", "IPFilter", config))
+
+
+def pkt(src="10.0.0.1", dst="192.168.0.1", proto=PROTO_TCP, sport=1234, dport=80):
+    flow = FlowSpec(IPv4Address(src), IPv4Address(dst), proto, sport, dport)
+    packet = Packet(build_frame(flow, 128))
+    CheckIPHeader("chk", Declaration("chk", "CheckIPHeader", "14")).process(packet)
+    return packet
+
+
+class TestExpressionLanguage:
+    def test_protocol_primitives(self):
+        assert parse_filter_expression("tcp")(pkt(proto=PROTO_TCP))
+        assert not parse_filter_expression("tcp")(pkt(proto=PROTO_UDP))
+        assert parse_filter_expression("icmp")(pkt(proto=PROTO_ICMP))
+
+    def test_all_none(self):
+        assert parse_filter_expression("all")(pkt())
+        assert not parse_filter_expression("none")(pkt())
+
+    def test_src_dst_host(self):
+        assert parse_filter_expression("src host 10.0.0.1")(pkt())
+        assert not parse_filter_expression("src host 10.0.0.2")(pkt())
+        assert parse_filter_expression("dst host 192.168.0.1")(pkt())
+
+    def test_undirected_host(self):
+        predicate = parse_filter_expression("host 192.168.0.1")
+        assert predicate(pkt(dst="192.168.0.1"))
+        assert predicate(pkt(src="192.168.0.1", dst="10.9.9.9"))
+        assert not predicate(pkt(src="1.1.1.1", dst="2.2.2.2"))
+
+    def test_net_prefix(self):
+        assert parse_filter_expression("src net 10.0.0.0/8")(pkt())
+        assert not parse_filter_expression("src net 11.0.0.0/8")(pkt())
+
+    def test_ports(self):
+        assert parse_filter_expression("dst port 80")(pkt(dport=80))
+        assert not parse_filter_expression("dst port 443")(pkt(dport=80))
+        assert parse_filter_expression("src port 1234")(pkt(sport=1234))
+
+    def test_port_on_icmp_never_matches(self):
+        assert not parse_filter_expression("port 80")(pkt(proto=PROTO_ICMP))
+
+    def test_boolean_operators(self):
+        expr = "tcp && dst port 80"
+        assert parse_filter_expression(expr)(pkt(proto=PROTO_TCP, dport=80))
+        assert not parse_filter_expression(expr)(pkt(proto=PROTO_UDP, dport=80))
+        either = parse_filter_expression("udp || icmp")
+        assert either(pkt(proto=PROTO_UDP))
+        assert either(pkt(proto=PROTO_ICMP))
+        assert not either(pkt(proto=PROTO_TCP))
+
+    def test_not_and_parentheses(self):
+        expr = "! (tcp && dst port 80)"
+        assert not parse_filter_expression(expr)(pkt(dport=80))
+        assert parse_filter_expression(expr)(pkt(dport=443))
+
+    def test_precedence_and_binds_tighter(self):
+        # a || b && c  ==  a || (b && c)
+        expr = "icmp || tcp && dst port 80"
+        assert parse_filter_expression(expr)(pkt(proto=PROTO_ICMP))
+        assert parse_filter_expression(expr)(pkt(proto=PROTO_TCP, dport=80))
+        assert not parse_filter_expression(expr)(pkt(proto=PROTO_TCP, dport=443))
+
+    @pytest.mark.parametrize("bad", [
+        "", "frobnicate", "src", "src host", "tcp &&", "( tcp",
+        "tcp ) extra", "src net 10.0.0.0", "dst port abc",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ElementConfigError):
+            parse_filter_expression(bad)
+
+
+class TestIPFilterElement:
+    def test_first_match_wins(self):
+        element = make_filter("deny dst port 80, allow tcp, allow all")
+        assert element.process(pkt(dport=80)) is None
+        assert element.process(pkt(dport=443)) == 0
+        assert element.matched == [1, 1, 0]
+
+    def test_numeric_actions_set_outputs(self):
+        element = make_filter("0 tcp, 1 udp, 2 all")
+        assert element.n_outputs == 3
+        assert element.process(pkt(proto=PROTO_UDP)) == 1
+        assert element.process(pkt(proto=PROTO_ICMP)) == 2
+
+    def test_unmatched_dropped(self):
+        element = make_filter("allow dst port 443")
+        assert element.process(pkt(dport=80)) is None
+        assert element.unmatched == 1
+
+    def test_requires_rules(self):
+        with pytest.raises(ElementConfigError):
+            make_filter("")
+
+    def test_rejects_bad_action(self):
+        with pytest.raises(ElementConfigError):
+            make_filter("maybe tcp")
+
+    def test_rule_needs_expression(self):
+        with pytest.raises(ElementConfigError):
+            make_filter("allow")
+
+    def test_in_pipeline(self):
+        from repro.core.options import BuildOptions
+        from repro.core.packetmill import PacketMill
+        from repro.hw.params import MachineParams
+        from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+        config = """
+        input :: FromDPDKDevice(PORT 0, BURST 32);
+        output :: ToDPDKDevice(PORT 0, BURST 32);
+        input -> CheckIPHeader(14)
+              -> f :: IPFilter(deny dst port 22, allow all)
+              -> EtherMirror -> output;
+        """
+        trace = lambda port, core: FixedSizeTraceGenerator(128, TraceSpec(seed=3))
+        binary = PacketMill(config, BuildOptions.packetmill(),
+                            params=MachineParams(), trace=trace).build()
+        stats = binary.driver.run_batches(10)
+        element = binary.graph.element("f")
+        assert stats.rx_packets == stats.tx_packets + stats.drops
+        assert element.matched[1] == stats.tx_packets

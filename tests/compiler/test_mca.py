@@ -1,0 +1,109 @@
+"""Tests for the static cost estimator (llvm-mca analogue)."""
+
+import pytest
+
+from repro.compiler.ir import BranchHint, Compute, DataAccess, FieldAccess, Program, RandomAccess
+from repro.compiler.lower import lower
+from repro.compiler.mca import DEFAULT_LOCALITY, compare, estimate, estimate_pipeline
+from repro.compiler.structlayout import Field, LayoutRegistry, StructLayout
+from repro.hw.params import MachineParams
+
+PARAMS = MachineParams(freq_ghz=2.3)
+
+
+def lowered(ops):
+    registry = LayoutRegistry()
+    registry.register(StructLayout("Packet", [Field("length", 4), Field("data_ptr", 8)]))
+    return lower(Program("test", ops), registry)
+
+
+class TestEstimate:
+    def test_pure_compute(self):
+        cost = estimate(lowered([Compute(320)]), PARAMS)
+        assert cost.issue_cycles == pytest.approx(320 / PARAMS.issue_ipc)
+        assert cost.uncore_ns == 0.0
+
+    def test_branch_misses_add_stalls(self):
+        cost = estimate(lowered([BranchHint(0.5)]), PARAMS)
+        assert cost.stall_cycles == pytest.approx(0.5 * PARAMS.branch_miss_cycles)
+
+    def test_memory_targets_use_locality(self):
+        warm = estimate(lowered([FieldAccess("Packet", "length")]), PARAMS)
+        cold = estimate(
+            lowered([FieldAccess("Packet", "length")]),
+            PARAMS,
+            locality={"packet_meta": (0.0, 0.0, 0.0)},  # all DRAM
+        )
+        assert cold.uncore_ns > warm.uncore_ns
+
+    def test_defaults_cover_every_target(self):
+        from repro.compiler.lower import VALID_TARGETS
+
+        assert set(DEFAULT_LOCALITY) == set(VALID_TARGETS)
+
+    def test_multi_line_access_costs_more(self):
+        one = estimate(lowered([DataAccess(0, 8)]), PARAMS)
+        four = estimate(lowered([DataAccess(0, 256)]), PARAMS)
+        assert four.uncore_ns > one.uncore_ns
+
+    def test_random_access_footprint_scaling(self):
+        small = estimate(lowered([RandomAccess(64 * 1024, 1)]), PARAMS)
+        large = estimate(lowered([RandomAccess(64 * 1024 * 1024, 1)]), PARAMS)
+        assert large.uncore_ns > small.uncore_ns
+
+    def test_ns_scales_with_frequency(self):
+        cost = estimate(lowered([Compute(320), BranchHint(0.5)]), PARAMS)
+        assert cost.ns(1.2) > cost.ns(3.0)
+
+    def test_ipc_bounded_by_issue(self):
+        cost = estimate(lowered([Compute(100)]), PARAMS)
+        assert cost.ipc(2.3) == pytest.approx(PARAMS.issue_ipc)
+
+
+class TestPipelineAndAccuracy:
+    def test_pipeline_sums(self):
+        a = lowered([Compute(100)])
+        b = lowered([Compute(200)])
+        total = estimate_pipeline([a, b], PARAMS)
+        assert total.instructions == 300
+
+    def test_compare_report(self):
+        before = estimate(lowered([Compute(400)]), PARAMS)
+        after = estimate(lowered([Compute(300)]), PARAMS)
+        report = compare(before, after, 2.3)
+        assert "->" in report and "%" in report
+
+    def test_estimator_tracks_measured_ordering(self):
+        """mca's value: it ranks builds the same way execution does."""
+        from repro.core import nfs
+        from repro.core.options import BuildOptions
+        from repro.core.packetmill import PacketMill
+
+        estimates = {}
+        measured = {}
+        for label, options in [
+            ("vanilla", BuildOptions.vanilla()),
+            ("all", BuildOptions.all_code_opts()),
+        ]:
+            binary = PacketMill(nfs.router(), options, params=PARAMS).build()
+            programs = list(binary.exec_programs.values())
+            programs += [binary.pmds[0].rx_exec, binary.pmds[0].tx_exec]
+            estimates[label] = estimate_pipeline(programs, PARAMS).ns(2.3)
+            measured[label] = binary.measure(batches=80, warmup_batches=40).ns_per_packet
+        assert (estimates["all"] < estimates["vanilla"]) == (
+            measured["all"] < measured["vanilla"]
+        )
+
+    def test_estimator_within_2x_of_measurement(self):
+        """The locality defaults keep the static estimate in the right
+        ballpark (mca-grade accuracy, not cycle-exactness)."""
+        from repro.core import nfs
+        from repro.core.options import BuildOptions
+        from repro.core.packetmill import PacketMill
+
+        binary = PacketMill(nfs.forwarder(), BuildOptions.vanilla(), params=PARAMS).build()
+        programs = list(binary.exec_programs.values())
+        programs += [binary.pmds[0].rx_exec, binary.pmds[0].tx_exec]
+        static_ns = estimate_pipeline(programs, PARAMS).ns(2.3)
+        measured_ns = binary.measure(batches=80, warmup_batches=40).ns_per_packet
+        assert measured_ns / 2 < static_ns < measured_ns * 2

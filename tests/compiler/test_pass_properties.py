@@ -1,0 +1,133 @@
+"""Property-based tests for the IR passes (semantic invariants)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import (
+    BranchHint,
+    Compute,
+    DataAccess,
+    DirectCall,
+    FieldAccess,
+    ParamRead,
+    PoolOp,
+    Program,
+    VirtualCall,
+)
+from repro.compiler.lower import lower
+from repro.compiler.passes import (
+    devirtualize,
+    eliminate_dead_code,
+    embed_constants,
+    inline_calls,
+    profile_guided,
+    vectorize,
+)
+from repro.compiler.passes.transforms import DEAD_NOTE, FOLDABLE_NOTE
+from repro.compiler.structlayout import Field, LayoutRegistry, StructLayout
+
+# -- op strategies ------------------------------------------------------------
+
+_ops = st.one_of(
+    st.builds(Compute, st.floats(min_value=0, max_value=200),
+              st.sampled_from(["", FOLDABLE_NOTE, DEAD_NOTE, "misc"])),
+    st.builds(FieldAccess, st.just("Packet"), st.sampled_from(["length", "data_ptr"]),
+              st.booleans()),
+    st.builds(DataAccess, st.integers(min_value=0, max_value=100),
+              st.integers(min_value=1, max_value=64), st.booleans()),
+    st.builds(ParamRead, st.sampled_from(["a", "b"]), st.integers(min_value=0, max_value=64)),
+    st.builds(VirtualCall, st.sampled_from(["push", "pull"])),
+    st.builds(DirectCall, st.sampled_from(["f", "g"])),
+    st.builds(BranchHint, st.floats(min_value=0, max_value=1)),
+    st.builds(PoolOp, st.sampled_from(["get", "put"])),
+)
+
+programs = st.builds(Program, st.just("p"), st.lists(_ops, max_size=24))
+
+PASSES = {
+    "devirtualize": devirtualize,
+    "embed_constants": embed_constants,
+    "inline_calls": inline_calls,
+    "dead_code": eliminate_dead_code,
+    "vectorize": vectorize,
+    "pgo": profile_guided,
+}
+
+
+def _registry():
+    registry = LayoutRegistry()
+    registry.register(StructLayout("Packet", [Field("length", 4), Field("data_ptr", 8)]))
+    return registry
+
+
+class TestPassProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(programs, st.sampled_from(sorted(PASSES)))
+    def test_passes_are_idempotent(self, program, pass_name):
+        """Applying any pass twice equals applying it once (cost-wise)."""
+        if pass_name in ("vectorize", "pgo"):
+            return  # scaling passes are intentionally not idempotent
+        fn = PASSES[pass_name]
+        once = lower(fn(program), _registry())
+        twice = lower(fn(fn(program)), _registry())
+        assert once.instructions == twice.instructions
+        assert once.mem_ops == twice.mem_ops
+        assert once.branch_miss_expect == twice.branch_miss_expect
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs, st.sampled_from(sorted(PASSES)))
+    def test_passes_never_increase_cost(self, program, pass_name):
+        """Every optimization is monotone: no metric gets worse."""
+        fn = PASSES[pass_name]
+        registry = _registry()
+        before = lower(program, registry)
+        after = lower(fn(program), registry)
+        assert after.instructions <= before.instructions + 1e-9
+        assert after.branch_miss_expect <= before.branch_miss_expect + 1e-9
+        assert len(after.mem_ops) <= len(before.mem_ops)
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs)
+    def test_passes_preserve_memory_semantics(self, program):
+        """Optimizations may drop parameter loads, but never the *packet*
+        accesses that constitute the element's behaviour."""
+        registry = _registry()
+        before = lower(program, registry)
+        optimized = inline_calls(embed_constants(devirtualize(program)))
+        after = lower(optimized, registry)
+        data_before = [op for op in before.mem_ops if op.target in ("data", "packet_meta")]
+        data_after = [op for op in after.mem_ops if op.target in ("data", "packet_meta")]
+        assert data_before == data_after
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs)
+    def test_devirtualize_removes_all_indirection(self, program):
+        out = devirtualize(program)
+        assert out.count(VirtualCall) == 0
+        assert out.count(DirectCall) == program.count(DirectCall) + program.count(VirtualCall)
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs)
+    def test_embed_constants_removes_all_params(self, program):
+        assert embed_constants(program).count(ParamRead) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs)
+    def test_pool_ops_survive_every_pass(self, program):
+        """No pass may remove allocation behaviour (correctness!)."""
+        for fn in PASSES.values():
+            assert fn(program).count(PoolOp) == program.count(PoolOp)
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs, st.floats(min_value=0.1, max_value=1.0))
+    def test_vectorize_scales_linearly(self, program, factor):
+        registry = _registry()
+        base = lower(program, registry)
+        scaled = lower(vectorize(program, factor), registry)
+        compute_before = sum(
+            op.instructions for op in program.ops if isinstance(op, Compute)
+        )
+        expected_drop = compute_before * (1 - factor)
+        assert scaled.instructions == (
+            __import__("pytest").approx(base.instructions - expected_drop, rel=1e-6, abs=1e-6)
+        )

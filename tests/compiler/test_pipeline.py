@@ -1,0 +1,74 @@
+"""Tests for the pass manager."""
+
+import pytest
+
+from repro.compiler.ir import Compute, DirectCall, ParamRead, Program, VirtualCall
+from repro.compiler.passes.transforms import DEAD_NOTE
+from repro.compiler.pipeline import PassManager
+from repro.core.options import BuildOptions
+
+
+def sample():
+    return Program("el", [
+        VirtualCall("push"),
+        ParamRead("p", offset=0),
+        Compute(10, note=DEAD_NOTE),
+        Compute(50),
+    ])
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        manager = PassManager.from_options(BuildOptions.all_code_opts())
+        names = [name for name, _ in manager.passes]
+        assert names == ["devirtualize", "embed-constants", "dead-code", "inline"]
+
+    def test_vanilla_is_empty_pipeline(self):
+        manager = PassManager.from_options(BuildOptions.vanilla())
+        assert manager.passes == []
+        program = sample()
+        assert manager.run(program) is program
+
+    def test_records_deltas(self):
+        manager = PassManager.from_options(BuildOptions.all_code_opts())
+        out = manager.run(sample())
+        assert out.count(VirtualCall) == 0
+        assert out.count(DirectCall) == 0
+        assert out.count(ParamRead) == 0
+        devirt = [r for r in manager.records if r.pass_name == "devirtualize"][0]
+        assert devirt.ops_before == devirt.ops_after  # replaced, not removed
+        inline = [r for r in manager.records if r.pass_name == "inline"][0]
+        assert inline.removed_ops == 1
+
+    def test_total_removed(self):
+        manager = PassManager.from_options(BuildOptions.all_code_opts())
+        manager.run(sample())
+        assert manager.total_removed_ops() == 3  # param, dead compute, call
+
+    def test_report_lists_changes(self):
+        manager = PassManager.from_options(BuildOptions.all_code_opts())
+        manager.run(sample())
+        report = manager.report()
+        assert "devirtualize" in report
+        assert "el" in report
+
+    def test_driver_pipeline_vectorizes(self):
+        options = BuildOptions(lto=True, vectorized_pmd=True)
+        app = PassManager.from_options(options)
+        driver = PassManager.from_options(options, driver_code=True)
+        assert "vectorize" not in [n for n, _ in app.passes]
+        assert "vectorize" in [n for n, _ in driver.passes]
+
+    def test_pgo_included(self):
+        manager = PassManager.from_options(BuildOptions(pgo=True))
+        assert [n for n, _ in manager.passes] == ["pgo"]
+
+    def test_binary_exposes_pass_manager(self):
+        from repro.core import nfs
+        from repro.core.packetmill import PacketMill
+        from repro.hw.params import MachineParams
+
+        binary = PacketMill(nfs.forwarder(), BuildOptions.all_code_opts(),
+                            params=MachineParams()).build()
+        assert binary.pass_manager.total_removed_ops() > 0
+        assert "inline" in binary.pass_manager.report(only_changed=False)

@@ -1,0 +1,116 @@
+"""Tests for the TinyNF driver model and the vectorized-PMD/PGO extensions."""
+
+import pytest
+
+from repro.compiler.ir import Compute, PoolOp
+from repro.compiler.passes import profile_guided, vectorize
+from repro.compiler.ir import BranchHint, Program
+from repro.core import nfs
+from repro.core.options import BuildOptions, MetadataModel, OptionsError
+from repro.core.packetmill import PacketMill
+from repro.dpdk.metadata import make_model
+from repro.dpdk.tinynf import TinyNfModel
+from repro.hw.params import MachineParams
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+
+def build(options, config=None, freq=2.3, frame=1024):
+    trace = lambda port, core: FixedSizeTraceGenerator(frame, TraceSpec(seed=1))
+    return PacketMill(config or nfs.forwarder(), options,
+                      params=MachineParams(freq_ghz=freq), trace=trace).build()
+
+
+class TestTinyNfModel:
+    def test_factory(self):
+        assert isinstance(make_model("tinynf"), TinyNfModel)
+
+    def test_no_buffering(self):
+        assert not TinyNfModel().supports_buffering
+
+    def test_minimal_metadata(self):
+        model = TinyNfModel()
+        assert len(model.conversions.targets) == 2
+
+    def test_no_pool_ops(self):
+        model = TinyNfModel()
+        assert model.rx_program().count(PoolOp) == 0
+        assert model.tx_program().count(PoolOp) == 0
+
+    def test_forwarder_runs(self):
+        binary = build(BuildOptions(metadata_model=MetadataModel.TINYNF, lto=True))
+        run = binary.measure(batches=80, warmup_batches=40)
+        assert run.tx_packets == run.packets
+
+    def test_leaner_than_or_close_to_xchange(self):
+        """TinyNF's static-slot model is at least as lean as X-Change on a
+        plain forwarder (its advantage), it just can't do more (its cost)."""
+        tinynf = build(BuildOptions(metadata_model=MetadataModel.TINYNF, lto=True))
+        xchange = build(BuildOptions(metadata_model=MetadataModel.XCHANGE, lto=True))
+        t = tinynf.measure(batches=100, warmup_batches=50).ns_per_packet
+        x = xchange.measure(batches=100, warmup_batches=50).ns_per_packet
+        assert t <= x * 1.02
+
+
+class TestVectorizedPmd:
+    def test_pass_scales_compute_only(self):
+        program = Program("p", [Compute(100), BranchHint(0.1)])
+        out = vectorize(program)
+        compute = [op for op in out.ops if isinstance(op, Compute)][0]
+        assert compute.instructions == pytest.approx(60.0)
+        assert out.count(BranchHint) == 1
+
+    def test_pass_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            vectorize(Program("p", []), factor=0.0)
+
+    def test_option_incompatible_with_xchange(self):
+        with pytest.raises(OptionsError):
+            BuildOptions(metadata_model=MetadataModel.XCHANGE, vectorized_pmd=True)
+        with pytest.raises(OptionsError):
+            BuildOptions(metadata_model=MetadataModel.TINYNF, vectorized_pmd=True)
+
+    def test_vectorized_copying_faster_than_scalar(self):
+        scalar = build(BuildOptions(lto=True))
+        vector = build(BuildOptions(lto=True, vectorized_pmd=True))
+        s = scalar.measure(batches=100, warmup_batches=50).ns_per_packet
+        v = vector.measure(batches=100, warmup_batches=50).ns_per_packet
+        assert v < s
+
+    def test_xchange_still_beats_vectorized_copying(self):
+        """§4.6's argument: even the vectorized classic path does not
+        recover X-Change's advantage."""
+        vector = build(BuildOptions(lto=True, vectorized_pmd=True))
+        xchange = build(BuildOptions(metadata_model=MetadataModel.XCHANGE, lto=True))
+        v = vector.measure(batches=100, warmup_batches=50).ns_per_packet
+        x = xchange.measure(batches=100, warmup_batches=50).ns_per_packet
+        assert x < v
+
+
+class TestPgo:
+    def test_pass_halves_branch_misses(self):
+        program = Program("p", [BranchHint(0.4), Compute(100)])
+        out = profile_guided(program)
+        hint = [op for op in out.ops if isinstance(op, BranchHint)][0]
+        assert hint.miss_rate == pytest.approx(0.2)
+
+    def test_pgo_build_improves_vanilla(self):
+        plain = build(BuildOptions.vanilla(), config=nfs.router())
+        pgo = build(BuildOptions(pgo=True), config=nfs.router())
+        p = plain.measure(batches=100, warmup_batches=50).ns_per_packet
+        g = pgo.measure(batches=100, warmup_batches=50).ns_per_packet
+        assert g < p
+        # ... by a BOLT-class sub-ten-percent margin, not a miracle.
+        assert (p - g) / p < 0.10
+
+    def test_pgo_composes_with_packetmill(self):
+        from dataclasses import replace
+
+        base = build(BuildOptions.packetmill(), config=nfs.router())
+        extended = build(replace(BuildOptions.packetmill(), pgo=True), config=nfs.router())
+        b = base.measure(batches=100, warmup_batches=50).ns_per_packet
+        e = extended.measure(batches=100, warmup_batches=50).ns_per_packet
+        assert e <= b
+
+    def test_label_shows_extensions(self):
+        label = BuildOptions(pgo=True, vectorized_pmd=True).label()
+        assert "pgo" in label and "vec" in label

@@ -1,0 +1,30 @@
+"""Tests for the one-command reproduction report."""
+
+import os
+
+from repro.experiments.report import MODULES, generate
+from tests.experiments.test_experiments import TINY
+
+
+class TestReportGenerator:
+    def test_covers_every_table_and_figure(self):
+        labels = [label for label, _ in MODULES]
+        assert labels == [
+            "Table 1", "Figure 1", "Figure 4", "Figure 5", "Figure 6",
+            "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+        ]
+
+    def test_generate_single_section(self, tmp_path):
+        out = os.path.join(tmp_path, "report.md")
+        logs = []
+        text = generate(TINY, out_path=out, only="table1", log=logs.append)
+        assert "## Table 1" in text
+        assert "checked OK" in text
+        assert "Vanilla" in text
+        assert os.path.exists(out)
+        assert any("wrote" in line for line in logs)
+
+    def test_report_is_markdown_with_code_blocks(self):
+        text = generate(TINY, only="table1", log=lambda *_: None)
+        assert text.startswith("# PacketMill reproduction report")
+        assert text.count("```") % 2 == 0

@@ -1,0 +1,90 @@
+"""Tests for dispatch-access locality, software prefetch, and hugepages."""
+
+import pytest
+
+from repro.hw.cpu import CpuCore
+from repro.hw.layout import DMA_BASE
+from repro.hw.memory import HUGE_PAGE_SIZE, MemorySystem
+from repro.hw.params import MachineParams
+
+
+def rig(**kwargs):
+    params = MachineParams(**kwargs)
+    mem = MemorySystem(params, seed=3)
+    return CpuCore(params, mem), mem, params
+
+
+class TestDispatchAccess:
+    def test_distribution_matches_params(self):
+        cpu, mem, params = rig()
+        n = 20000
+        for _ in range(n):
+            mem.dispatch_access(0)
+        counters = mem.counters[0]
+        dram_share = counters.llc_misses / n
+        llc_share = counters.llc_hits / n
+        assert dram_share == pytest.approx(params.heap_dispatch_p_dram, abs=0.02)
+        assert llc_share == pytest.approx(params.heap_dispatch_p_llc, abs=0.02)
+
+    def test_counts_llc_loads(self):
+        cpu, mem, params = rig()
+        for _ in range(100):
+            cpu.dispatch_access()
+        counters = mem.counters[0]
+        assert counters.llc_loads == counters.llc_hits + counters.llc_misses
+
+    def test_charges_uncore_time(self):
+        cpu, mem, params = rig()
+        for _ in range(100):
+            cpu.dispatch_access()
+        assert cpu.uncore_ns > 0
+        assert cpu.instructions == 100
+
+
+class TestPrefetch:
+    def test_prefetch_is_not_a_demand_load(self):
+        cpu, mem, _ = rig()
+        cpu.prefetch(0x9000, 128)
+        counters = mem.counters[0]
+        assert counters.llc_loads == 0
+        assert counters.llc_misses == 0
+
+    def test_prefetch_warms_l1(self):
+        cpu, mem, _ = rig()
+        cpu.prefetch(0x9000, 64)
+        mem.reset_counters()
+        cpu.mem_access(0x9000, 8)
+        assert mem.counters[0].l1_hits == 1
+
+    def test_prefetch_latency_deeply_overlapped(self):
+        cpu, mem, params = rig()
+        cpu.prefetch(0x9000, 64)  # cold -> DRAM
+        assert cpu.uncore_ns == pytest.approx(params.dram_ns / params.prefetch_mlp)
+
+    def test_prefetch_of_resident_line_free(self):
+        cpu, mem, _ = rig()
+        cpu.mem_access(0xA000, 8)
+        before = cpu.uncore_ns
+        cpu.prefetch(0xA000, 8)
+        assert cpu.uncore_ns == before  # already in L1
+
+
+class TestHugepages:
+    def test_dma_region_uses_huge_pages(self):
+        cpu, mem, params = rig()
+        # Touch 64 KB of DMA space: 16 x 4-KB pages but ONE 2-MB hugepage.
+        for offset in range(0, 64 * 1024, 4096):
+            mem.access(0, DMA_BASE + offset, 8)
+        assert mem.tlbs[0].walks == 1
+
+    def test_normal_region_uses_4k_pages(self):
+        cpu, mem, params = rig()
+        for offset in range(0, 64 * 1024, 4096):
+            mem.access(0, 0x100000 + offset, 8)
+        assert mem.tlbs[0].walks == 16
+
+    def test_huge_page_boundary(self):
+        cpu, mem, _ = rig()
+        mem.access(0, DMA_BASE, 8)
+        mem.access(0, DMA_BASE + HUGE_PAGE_SIZE, 8)
+        assert mem.tlbs[0].walks == 2

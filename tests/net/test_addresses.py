@@ -1,0 +1,118 @@
+"""Tests for MAC/IPv4 address value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+
+class TestMacAddress:
+    def test_from_string(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert mac.packed == bytes.fromhex("aabbccddeeff")
+
+    def test_from_string_dash_separated(self):
+        assert MacAddress("aa-bb-cc-dd-ee-ff") == MacAddress("aa:bb:cc:dd:ee:ff")
+
+    def test_from_bytes(self):
+        mac = MacAddress(b"\x02\x00\x00\x00\x00\x01")
+        assert str(mac) == "02:00:00:00:00:01"
+
+    def test_from_int_roundtrip(self):
+        mac = MacAddress(0x0200DEADBEEF)
+        assert int(MacAddress(str(mac))) == 0x0200DEADBEEF
+
+    def test_copy_constructor(self):
+        mac = MacAddress("02:00:00:00:00:01")
+        assert MacAddress(mac) == mac
+
+    def test_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast()
+        assert not MacAddress.zero().is_broadcast()
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast()
+        assert not MacAddress("02:00:00:00:00:01").is_multicast()
+
+    def test_rejects_short_bytes(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00\x01")
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(ValueError):
+            MacAddress("not-a-mac")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            MacAddress(3.14)
+
+    def test_ordering_and_hash(self):
+        a = MacAddress(1)
+        b = MacAddress(2)
+        assert a < b
+        assert len({a, MacAddress(1), b}) == 2
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_string_roundtrip_property(self, value):
+        assert int(MacAddress(str(MacAddress(value)))) == value
+
+
+class TestIPv4Address:
+    def test_from_string(self):
+        ip = IPv4Address("192.168.1.1")
+        assert ip.packed == bytes((192, 168, 1, 1))
+
+    def test_from_int(self):
+        assert str(IPv4Address(0xC0A80101)) == "192.168.1.1"
+
+    def test_from_bytes(self):
+        assert int(IPv4Address(bytes((10, 0, 0, 1)))) == 0x0A000001
+
+    def test_copy_constructor(self):
+        ip = IPv4Address("10.1.2.3")
+        assert IPv4Address(ip) == ip
+
+    def test_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            IPv4Address("192.168.1.300")
+
+    def test_rejects_wrong_part_count(self):
+        with pytest.raises(ValueError):
+            IPv4Address("1.2.3")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            IPv4Address("a.b.c.d")
+
+    def test_rejects_short_bytes(self):
+        with pytest.raises(ValueError):
+            IPv4Address(b"\x01\x02")
+
+    def test_prefix_membership(self):
+        ip = IPv4Address("192.168.5.7")
+        assert ip.in_prefix(IPv4Address("192.168.0.0"), 16)
+        assert not ip.in_prefix(IPv4Address("192.169.0.0"), 16)
+
+    def test_prefix_zero_matches_everything(self):
+        assert IPv4Address("8.8.8.8").in_prefix(IPv4Address("0.0.0.0"), 0)
+
+    def test_prefix_32_exact(self):
+        ip = IPv4Address("10.0.0.1")
+        assert ip.in_prefix(IPv4Address("10.0.0.1"), 32)
+        assert not ip.in_prefix(IPv4Address("10.0.0.2"), 32)
+
+    def test_prefix_length_validation(self):
+        with pytest.raises(ValueError):
+            IPv4Address("10.0.0.1").in_prefix(IPv4Address("10.0.0.0"), 33)
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_string_roundtrip_property(self, value):
+        assert int(IPv4Address(str(IPv4Address(value)))) == value

@@ -1,0 +1,95 @@
+"""Tests for the RFC 1071/1624 checksum routines."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import (
+    incremental_update,
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header_sum,
+    verify_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 §3.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert ones_complement_sum(data) == 0xDDF2
+
+    def test_empty_data(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_pads_with_zero(self):
+        assert ones_complement_sum(b"\xab") == ones_complement_sum(b"\xab\x00")
+
+    def test_verify_after_insert(self):
+        data = bytearray(b"\x45\x00\x00\x14" + bytes(16))
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        assert verify_checksum(bytes(data))
+
+    def test_verify_detects_corruption(self):
+        data = bytearray(b"\x45\x00\x00\x14" + bytes(16))
+        data[10:12] = internet_checksum(bytes(data)).to_bytes(2, "big")
+        data[0] ^= 0xFF
+        assert not verify_checksum(bytes(data))
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_checksummed_data_always_verifies(self, payload):
+        if len(payload) % 2:  # checksum fields always sit on 16-bit boundaries
+            payload += b"\x00"
+        data = bytearray(payload) + bytearray(2)
+        data[-2:] = internet_checksum(bytes(data)).to_bytes(2, "big")
+        assert verify_checksum(bytes(data))
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute(self):
+        data = bytearray(b"\x45\x00\x00\x28\x12\x34\x40\x00\x40\x06\x00\x00"
+                         b"\x0a\x00\x00\x01\xc0\xa8\x00\x01")
+        old_checksum = internet_checksum(bytes(data))
+        # Change the TTL/proto word 0x4006 -> 0x3f06.
+        updated = incremental_update(old_checksum, 0x4006, 0x3F06)
+        data[8] = 0x3F
+        assert updated == internet_checksum(bytes(data))
+
+    def test_no_change_is_identity(self):
+        assert incremental_update(0x1234, 0xABCD, 0xABCD) == 0x1234
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            incremental_update(0x10000, 0, 0)
+
+    @given(
+        st.binary(min_size=20, max_size=20),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_incremental_equals_recompute_property(self, raw, word_index, new_value):
+        data = bytearray(raw)
+        data[10:12] = b"\x00\x00"
+        checksum = internet_checksum(bytes(data))
+        if word_index == 5:  # skip the checksum field itself
+            word_index = 4
+        off = word_index * 2
+        old_value = int.from_bytes(data[off : off + 2], "big")
+        updated = incremental_update(checksum, old_value, new_value)
+        data[off : off + 2] = new_value.to_bytes(2, "big")
+        expected = internet_checksum(bytes(data))
+        # One's-complement arithmetic has two representations of zero
+        # (0x0000 and 0xFFFF); both denote the same checksum value.
+        assert updated == expected or {updated, expected} == {0x0000, 0xFFFF}
+
+
+class TestPseudoHeader:
+    def test_known_value(self):
+        total = pseudo_header_sum(bytes((10, 0, 0, 1)), bytes((10, 0, 0, 2)), 6, 20)
+        assert 0 <= total <= 0xFFFF
+
+    def test_symmetric_in_addresses(self):
+        a = pseudo_header_sum(bytes((1, 2, 3, 4)), bytes((5, 6, 7, 8)), 17, 100)
+        b = pseudo_header_sum(bytes((5, 6, 7, 8)), bytes((1, 2, 3, 4)), 17, 100)
+        assert a == b

@@ -1,0 +1,171 @@
+"""Tests for the Packet object: buffers, headroom, annotations, header views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.flows import PROTO_TCP, FlowSpec
+from repro.net.packet import ANNO_DST_IP, ANNO_PAINT, ANNO_VLAN_TCI, Packet
+from repro.net.trace import build_frame
+
+
+def _sample_flow():
+    return FlowSpec(
+        src_ip=IPv4Address("10.0.0.1"),
+        dst_ip=IPv4Address("192.168.0.1"),
+        proto=PROTO_TCP,
+        src_port=1234,
+        dst_port=80,
+    )
+
+
+def _sample_packet(frame_len=128):
+    pkt = Packet(build_frame(_sample_flow(), frame_len))
+    pkt.mac_header_offset = 0
+    pkt.network_header_offset = 14
+    pkt.transport_header_offset = 34
+    return pkt
+
+
+class TestBufferManagement:
+    def test_length_matches_data(self):
+        pkt = _sample_packet(128)
+        assert len(pkt) == 128
+        assert len(pkt.data_bytes()) == 128
+
+    def test_data_view_is_writable(self):
+        pkt = _sample_packet()
+        view = pkt.data()
+        view[0] = 0xAB
+        assert pkt.data_bytes()[0] == 0xAB
+
+    def test_push_extends_into_headroom(self):
+        pkt = _sample_packet(128)
+        pkt.push(4)
+        assert len(pkt) == 132
+        assert pkt.headroom == 124
+
+    def test_push_shifts_header_offsets(self):
+        pkt = _sample_packet()
+        pkt.push(4)
+        assert pkt.mac_header_offset == 4
+        assert pkt.network_header_offset == 18
+
+    def test_pull_strips_front(self):
+        pkt = _sample_packet(128)
+        first_after = pkt.data_bytes()[14]
+        pkt.pull(14)
+        assert len(pkt) == 114
+        assert pkt.data_bytes()[0] == first_after
+        assert pkt.network_header_offset == 0
+
+    def test_take_strips_tail(self):
+        pkt = _sample_packet(128)
+        pkt.take(10)
+        assert len(pkt) == 118
+
+    def test_push_overflow_raises(self):
+        pkt = _sample_packet()
+        with pytest.raises(ValueError):
+            pkt.push(pkt.headroom + 1)
+
+    def test_pull_overflow_raises(self):
+        pkt = _sample_packet(64)
+        with pytest.raises(ValueError):
+            pkt.pull(65)
+
+    def test_take_overflow_raises(self):
+        pkt = _sample_packet(64)
+        with pytest.raises(ValueError):
+            pkt.take(65)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_push_pull_roundtrip_property(self, n):
+        pkt = _sample_packet(128)
+        before = pkt.data_bytes()
+        pkt.push(n)
+        pkt.pull(n)
+        assert pkt.data_bytes() == before
+
+
+class TestAnnotations:
+    def test_u8_roundtrip(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u8(ANNO_PAINT, 7)
+        assert pkt.anno_u8(ANNO_PAINT) == 7
+
+    def test_u16_roundtrip(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u16(ANNO_VLAN_TCI, 0x3064)
+        assert pkt.anno_u16(ANNO_VLAN_TCI) == 0x3064
+
+    def test_u32_roundtrip(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u32(ANNO_DST_IP, 0xC0A80001)
+        assert pkt.anno_u32(ANNO_DST_IP) == 0xC0A80001
+
+    def test_values_are_masked(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u8(0, 0x1FF)
+        assert pkt.anno_u8(0) == 0xFF
+
+    def test_annotations_do_not_overlap_when_adjacent(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u16(0, 0xAAAA)
+        pkt.set_anno_u16(2, 0xBBBB)
+        assert pkt.anno_u16(0) == 0xAAAA
+        assert pkt.anno_u16(2) == 0xBBBB
+
+    def test_anno_area_is_48_bytes(self):
+        assert len(_sample_packet().anno) == 48
+
+
+class TestHeaderViews:
+    def test_ether_view(self):
+        pkt = _sample_packet()
+        assert pkt.ether().ethertype == 0x0800
+        assert pkt.ether().src == MacAddress("02:00:00:00:00:01")
+
+    def test_ip_view(self):
+        pkt = _sample_packet()
+        ip = pkt.ip()
+        assert ip.verify()
+        assert ip.src == IPv4Address("10.0.0.1")
+
+    def test_tcp_view(self):
+        pkt = _sample_packet()
+        assert pkt.tcp().dst_port == 80
+
+    def test_header_view_without_offset_raises(self):
+        pkt = Packet(build_frame(_sample_flow(), 64))
+        with pytest.raises(ValueError):
+            pkt.ip()
+
+    def test_transport_available(self):
+        pkt = _sample_packet(128)
+        assert pkt.transport_available() == 128 - 34
+
+    def test_views_share_buffer(self):
+        pkt = _sample_packet()
+        pkt.ether().swap_addresses()
+        assert pkt.ether().dst == MacAddress("02:00:00:00:00:01")
+
+
+class TestClone:
+    def test_clone_copies_data(self):
+        pkt = _sample_packet()
+        pkt.set_anno_u8(ANNO_PAINT, 3)
+        copy = pkt.clone()
+        assert copy.data_bytes() == pkt.data_bytes()
+        assert copy.anno_u8(ANNO_PAINT) == 3
+        assert copy.network_header_offset == pkt.network_header_offset
+
+    def test_clone_is_independent(self):
+        pkt = _sample_packet()
+        original_first = pkt.data_bytes()[0]
+        copy = pkt.clone()
+        copy.data()[0] = original_first ^ 0xFF
+        copy.set_anno_u8(ANNO_PAINT, 9)
+        assert pkt.data_bytes()[0] == original_first
+        assert pkt.anno_u8(ANNO_PAINT) == 0

@@ -1,0 +1,179 @@
+"""Tests for pcap I/O and trace statistics."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.pcap import (
+    PcapFormatError,
+    PcapTraceGenerator,
+    read_pcap,
+    write_packets,
+    write_pcap,
+)
+from repro.net.trace import CampusTraceGenerator, FixedSizeTraceGenerator, TraceSpec
+from repro.net.tracestats import TraceStats, collect
+
+
+class TestPcapRoundtrip:
+    def _frames(self, n=5, size=64):
+        gen = FixedSizeTraceGenerator(size, TraceSpec(pool_size=8))
+        return [(i * 1e-5, p.data_bytes()) for i, p in enumerate(gen.packets(n))]
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        frames = self._frames()
+        assert write_pcap(path, frames) == 5
+        back = list(read_pcap(path))
+        assert [f for _, f in back] == [f for _, f in frames]
+        for (ts_in, _), (ts_out, _) in zip(frames, back):
+            assert ts_out == pytest.approx(ts_in, abs=1e-6)
+
+    def test_write_packets_helper(self, tmp_path):
+        path = str(tmp_path / "p.pcap")
+        gen = FixedSizeTraceGenerator(128, TraceSpec(pool_size=4))
+        assert write_packets(path, gen.packets(4, rate_pps=1e6)) == 4
+        assert len(list(read_pcap(path))) == 4
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = str(tmp_path / "s.pcap")
+        write_pcap(path, [(0.0, bytes(200))], snaplen=96)
+        (_, frame), = read_pcap(path)
+        assert len(frame) == 96
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.pcap")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 24)
+        with pytest.raises(PcapFormatError):
+            list(read_pcap(path))
+
+    def test_rejects_truncated_record(self, tmp_path):
+        path = str(tmp_path / "trunc.pcap")
+        write_pcap(path, [(0.0, bytes(64))])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-10])
+        with pytest.raises(PcapFormatError):
+            list(read_pcap(path))
+
+    def test_big_endian_capture_readable(self, tmp_path):
+        path = str(tmp_path / "be.pcap")
+        with open(path, "wb") as handle:
+            handle.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+            frame = bytes(range(64))
+            handle.write(struct.pack(">IIII", 7, 500000, 64, 64))
+            handle.write(frame)
+        (ts, data), = read_pcap(path)
+        assert ts == pytest.approx(7.5)
+        assert data == frame
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=14, max_size=200), min_size=1, max_size=10))
+    def test_roundtrip_property(self, frames):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".pcap")
+        os.close(fd)
+        try:
+            records = [(i * 0.001, f) for i, f in enumerate(frames)]
+            write_pcap(path, records)
+            assert [f for _, f in read_pcap(path)] == frames
+        finally:
+            os.unlink(path)
+
+
+class TestPcapTraceGenerator:
+    def _capture(self, tmp_path, n=6):
+        path = str(tmp_path / "cap.pcap")
+        gen = FixedSizeTraceGenerator(128, TraceSpec(pool_size=4))
+        write_packets(path, gen.packets(n))
+        return path
+
+    def test_replays_in_order(self, tmp_path):
+        path = self._capture(tmp_path)
+        trace = PcapTraceGenerator(path)
+        assert len(trace) == 6
+        first = trace.next_packet().data_bytes()
+        original = next(iter(read_pcap(path)))[1]
+        assert first == original
+
+    def test_loops_like_a_replay(self, tmp_path):
+        trace = PcapTraceGenerator(self._capture(tmp_path, n=3))
+        frames = [trace.next_packet().data_bytes() for _ in range(6)]
+        assert frames[:3] == frames[3:]
+
+    def test_no_repeat_mode_raises_at_end(self, tmp_path):
+        trace = PcapTraceGenerator(self._capture(tmp_path, n=2), repeat=False)
+        trace.next_packet()
+        trace.next_packet()
+        with pytest.raises(StopIteration):
+            trace.next_packet()
+
+    def test_empty_capture_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.pcap")
+        write_pcap(path, [])
+        with pytest.raises(PcapFormatError):
+            PcapTraceGenerator(path)
+
+    def test_drives_a_full_experiment(self, tmp_path):
+        """A capture file can replace the synthetic trace end to end."""
+        from repro.core.nfs import forwarder
+        from repro.core.options import BuildOptions
+        from repro.core.packetmill import PacketMill
+        from repro.hw.params import MachineParams
+
+        path = self._capture(tmp_path, n=64)
+        binary = PacketMill(
+            forwarder(), BuildOptions.packetmill(),
+            params=MachineParams(), trace=PcapTraceGenerator(path),
+        ).build()
+        stats = binary.driver.run_batches(5)
+        assert stats.tx_packets == 160
+
+
+class TestTraceStats:
+    def test_counts_and_mean(self):
+        gen = FixedSizeTraceGenerator(256, TraceSpec(pool_size=8))
+        stats = collect(gen.packets(10))
+        assert stats.packets == 10
+        assert stats.mean_len == 256
+        assert stats.min_len == stats.max_len == 256
+
+    def test_campus_trace_facts(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=1024))
+        stats = collect(gen.packets(1024))
+        assert 900 < stats.mean_len < 1050  # the paper's 981-B average
+        assert stats.protocol_share("tcp") > 0.7
+        assert stats.n_flows > 100
+        assert stats.top_flow_share(0.1) > 0.3  # heavy tail
+
+    def test_size_histogram_bins(self):
+        stats = TraceStats()
+        for frame_len in (60, 64, 65, 128, 1514):
+            stats.add_frame(bytes(frame_len))
+        assert stats.size_histogram[64] == 2
+        assert stats.size_histogram[128] == 2
+        assert stats.size_histogram[1514] == 1
+
+    def test_flow_keying_separates_ports(self):
+        from repro.net.addresses import IPv4Address
+        from repro.net.flows import PROTO_TCP, FlowSpec
+        from repro.net.trace import build_frame
+
+        stats = TraceStats()
+        for sport in (1000, 2000):
+            flow = FlowSpec(IPv4Address("10.0.0.1"), IPv4Address("192.168.0.1"),
+                            PROTO_TCP, sport, 80)
+            stats.add_frame(build_frame(flow, 64))
+        assert stats.n_flows == 2
+
+    def test_report_format(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=64))
+        stats = collect(gen.packets(64))
+        report = stats.format_report()
+        assert "mean frame" in report and "tcp" in report

@@ -1,0 +1,261 @@
+"""Tests for the protocol header codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.protocols import (
+    ArpHeader,
+    EtherHeader,
+    IcmpHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    VlanHeader,
+)
+
+SRC_MAC = MacAddress("02:00:00:00:00:01")
+DST_MAC = MacAddress("02:00:00:00:00:02")
+SRC_IP = IPv4Address("10.0.0.1")
+DST_IP = IPv4Address("192.168.0.1")
+
+
+class TestEtherHeader:
+    def test_build_and_parse(self):
+        raw = bytearray(EtherHeader.build(DST_MAC, SRC_MAC, 0x0800))
+        hdr = EtherHeader(raw)
+        assert hdr.dst == DST_MAC
+        assert hdr.src == SRC_MAC
+        assert hdr.ethertype == 0x0800
+
+    def test_swap_addresses(self):
+        raw = bytearray(EtherHeader.build(DST_MAC, SRC_MAC, 0x0800))
+        hdr = EtherHeader(raw)
+        hdr.swap_addresses()
+        assert hdr.dst == SRC_MAC
+        assert hdr.src == DST_MAC
+
+    def test_swap_is_involution(self):
+        raw = bytearray(EtherHeader.build(DST_MAC, SRC_MAC, 0x0800))
+        original = bytes(raw)
+        hdr = EtherHeader(raw)
+        hdr.swap_addresses()
+        hdr.swap_addresses()
+        assert bytes(raw) == original
+
+    def test_setters(self):
+        raw = bytearray(EtherHeader.build(DST_MAC, SRC_MAC, 0x0800))
+        hdr = EtherHeader(raw)
+        hdr.dst = MacAddress("ff:ff:ff:ff:ff:ff")
+        hdr.ethertype = 0x0806
+        assert hdr.dst.is_broadcast()
+        assert hdr.ethertype == 0x0806
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            EtherHeader(bytearray(10))
+
+    def test_offset_view(self):
+        raw = bytearray(4) + bytearray(EtherHeader.build(DST_MAC, SRC_MAC, 0x0800))
+        assert EtherHeader(raw, offset=4).ethertype == 0x0800
+
+
+class TestVlanHeader:
+    def test_build_and_parse(self):
+        raw = bytearray(VlanHeader.build(vlan_id=100, inner_ethertype=0x0800, pcp=3))
+        hdr = VlanHeader(raw, 0)
+        assert hdr.vlan_id == 100
+        assert hdr.pcp == 3
+        assert hdr.inner_ethertype == 0x0800
+
+    def test_vlan_id_setter_preserves_pcp(self):
+        raw = bytearray(VlanHeader.build(vlan_id=1, inner_ethertype=0x0800, pcp=5))
+        hdr = VlanHeader(raw, 0)
+        hdr.vlan_id = 4000
+        assert hdr.vlan_id == 4000
+        assert hdr.pcp == 5
+
+    def test_rejects_bad_vlan_id(self):
+        with pytest.raises(ValueError):
+            VlanHeader.build(vlan_id=5000, inner_ethertype=0x0800)
+
+    def test_rejects_bad_pcp(self):
+        with pytest.raises(ValueError):
+            VlanHeader.build(vlan_id=1, inner_ethertype=0x0800, pcp=9)
+
+
+class TestArpHeader:
+    def test_build_request(self):
+        raw = bytearray(
+            ArpHeader.build(ArpHeader.OP_REQUEST, SRC_MAC, SRC_IP, MacAddress.zero(), DST_IP)
+        )
+        hdr = ArpHeader(raw, 0)
+        assert hdr.is_valid()
+        assert hdr.op == ArpHeader.OP_REQUEST
+        assert hdr.sender_ip == SRC_IP
+        assert hdr.target_ip == DST_IP
+
+    def test_reply_rewrite(self):
+        raw = bytearray(
+            ArpHeader.build(ArpHeader.OP_REQUEST, SRC_MAC, SRC_IP, MacAddress.zero(), DST_IP)
+        )
+        hdr = ArpHeader(raw, 0)
+        hdr.op = ArpHeader.OP_REPLY
+        hdr.target_mac = SRC_MAC
+        hdr.target_ip = SRC_IP
+        hdr.sender_mac = DST_MAC
+        hdr.sender_ip = DST_IP
+        assert hdr.op == ArpHeader.OP_REPLY
+        assert hdr.sender_mac == DST_MAC
+        assert hdr.target_ip == SRC_IP
+
+    def test_invalid_when_corrupted(self):
+        raw = bytearray(
+            ArpHeader.build(ArpHeader.OP_REQUEST, SRC_MAC, SRC_IP, MacAddress.zero(), DST_IP)
+        )
+        raw[0] = 9
+        assert not ArpHeader(raw, 0).is_valid()
+
+
+class TestIpv4Header:
+    def _header(self, **kwargs):
+        raw = bytearray(Ipv4Header.build(SRC_IP, DST_IP, 6, 20, **kwargs))
+        return Ipv4Header(raw, 0), raw
+
+    def test_build_produces_valid_checksum(self):
+        hdr, _ = self._header()
+        assert hdr.verify()
+
+    def test_field_parse(self):
+        hdr, _ = self._header(ttl=17, ident=0x1234)
+        assert hdr.version == 4
+        assert hdr.ihl == 5
+        assert hdr.header_len == 20
+        assert hdr.total_len == 40
+        assert hdr.ident == 0x1234
+        assert hdr.ttl == 17
+        assert hdr.proto == 6
+        assert hdr.src == SRC_IP
+        assert hdr.dst == DST_IP
+
+    def test_decrement_ttl_keeps_checksum_valid(self):
+        hdr, _ = self._header(ttl=64)
+        new_ttl = hdr.decrement_ttl()
+        assert new_ttl == 63
+        assert hdr.verify()
+
+    def test_decrement_to_zero(self):
+        hdr, _ = self._header(ttl=1)
+        assert hdr.decrement_ttl() == 0
+        assert hdr.verify()
+
+    def test_address_rewrite_keeps_checksum_valid(self):
+        hdr, _ = self._header()
+        hdr.src = IPv4Address("172.16.0.9")
+        assert hdr.src == IPv4Address("172.16.0.9")
+        assert hdr.verify()
+        hdr.dst = IPv4Address("8.8.8.8")
+        assert hdr.verify()
+
+    def test_verify_rejects_bad_version(self):
+        _, raw = self._header()
+        raw[0] = (6 << 4) | 5
+        assert not Ipv4Header(raw, 0).verify()
+
+    def test_verify_rejects_corrupt_checksum(self):
+        hdr, raw = self._header()
+        raw[10] ^= 0x55
+        assert not hdr.verify()
+
+    def test_recompute_checksum(self):
+        hdr, raw = self._header()
+        raw[8] = 10  # raw TTL edit without incremental fix
+        assert not hdr.verify()
+        hdr.recompute_checksum()
+        assert hdr.verify()
+
+    @given(st.integers(min_value=2, max_value=255))
+    def test_ttl_chain_property(self, ttl):
+        """Decrementing TTL repeatedly always keeps the checksum valid."""
+        raw = bytearray(Ipv4Header.build(SRC_IP, DST_IP, 17, 8, ttl=ttl))
+        hdr = Ipv4Header(raw, 0)
+        while hdr.ttl > 0:
+            hdr.decrement_ttl()
+            assert hdr.verify()
+
+
+class TestTcpHeader:
+    def test_build_and_parse(self):
+        raw = bytearray(TcpHeader.build(1234, 80, seq=7, ack=9, flags=TcpHeader.SYN))
+        hdr = TcpHeader(raw, 0)
+        assert hdr.src_port == 1234
+        assert hdr.dst_port == 80
+        assert hdr.seq == 7
+        assert hdr.ack_num == 9
+        assert hdr.flags == TcpHeader.SYN
+        assert hdr.header_len == 20
+
+    def test_port_rewrite_updates_checksum_incrementally(self):
+        raw = bytearray(TcpHeader.build(1234, 80))
+        hdr = TcpHeader(raw, 0)
+        hdr.checksum = internet_checksum(bytes(raw))
+        before = bytes(raw)
+        assert verify_checksum(before)
+        hdr.src_port = 4321
+        assert hdr.src_port == 4321
+        assert verify_checksum(bytes(raw))
+
+    def test_structure_check(self):
+        raw = bytearray(TcpHeader.build(1, 2))
+        hdr = TcpHeader(raw, 0)
+        assert hdr.verify_structure(available=20)
+        assert not hdr.verify_structure(available=12)
+
+    def test_structure_check_rejects_tiny_offset(self):
+        raw = bytearray(TcpHeader.build(1, 2))
+        raw[12] = 2 << 4
+        assert not TcpHeader(raw, 0).verify_structure(available=60)
+
+
+class TestUdpHeader:
+    def test_build_and_parse(self):
+        raw = bytearray(UdpHeader.build(53, 5353, payload_len=100))
+        hdr = UdpHeader(raw, 0)
+        assert hdr.src_port == 53
+        assert hdr.dst_port == 5353
+        assert hdr.length == 108
+
+    def test_port_rewrite_with_zero_checksum(self):
+        raw = bytearray(UdpHeader.build(53, 5353, payload_len=0))
+        hdr = UdpHeader(raw, 0)
+        hdr.dst_port = 9999  # zero checksum stays zero
+        assert hdr.dst_port == 9999
+        assert hdr.checksum == 0
+
+    def test_structure_check(self):
+        raw = bytearray(UdpHeader.build(1, 2, payload_len=4))
+        hdr = UdpHeader(raw, 0)
+        assert hdr.verify_structure(available=12)
+        assert not hdr.verify_structure(available=8)
+
+
+class TestIcmpHeader:
+    def test_build_echo_request(self):
+        raw = bytearray(IcmpHeader.build(IcmpHeader.ECHO_REQUEST, ident=5, seq=1))
+        hdr = IcmpHeader(raw, 0)
+        assert hdr.icmp_type == IcmpHeader.ECHO_REQUEST
+        assert hdr.ident == 5
+        assert hdr.seq == 1
+        assert hdr.verify(payload_len=0)
+
+    def test_checksum_covers_payload(self):
+        payload = b"abcdefgh"
+        raw = bytearray(IcmpHeader.build(IcmpHeader.ECHO_REQUEST, payload=payload) + payload)
+        assert IcmpHeader(raw, 0).verify(payload_len=len(payload))
+
+    def test_structure_check_rejects_unknown_type(self):
+        raw = bytearray(IcmpHeader.build(IcmpHeader.ECHO_REQUEST))
+        raw[0] = 200
+        assert not IcmpHeader(raw, 0).verify_structure(available=8)

@@ -1,0 +1,158 @@
+"""Tests for trace generators and flow sets."""
+
+import random
+
+import pytest
+
+from repro.net.flows import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowSet, FlowSpec
+from repro.net.addresses import IPv4Address
+from repro.net.packet import ANNO_SEQUENCE
+from repro.net.trace import (
+    CampusTraceGenerator,
+    FixedSizeTraceGenerator,
+    TraceSpec,
+    build_frame,
+)
+
+
+class TestBuildFrame:
+    def _flow(self, proto=PROTO_TCP):
+        return FlowSpec(
+            src_ip=IPv4Address("10.0.0.1"),
+            dst_ip=IPv4Address("192.168.0.1"),
+            proto=proto,
+            src_port=1000,
+            dst_port=80,
+        )
+
+    @pytest.mark.parametrize("size", [64, 128, 576, 1024, 1514])
+    def test_exact_length(self, size):
+        assert len(build_frame(self._flow(), size)) == size
+
+    @pytest.mark.parametrize("proto", [PROTO_TCP, PROTO_UDP, PROTO_ICMP])
+    def test_all_protocols(self, proto):
+        frame = build_frame(self._flow(proto), 128)
+        assert frame[23] == proto  # IPv4 protocol field
+
+    def test_ip_header_is_valid(self):
+        from repro.net.protocols import Ipv4Header
+
+        frame = bytearray(build_frame(self._flow(), 128))
+        assert Ipv4Header(frame, 14).verify()
+
+    def test_rejects_runt(self):
+        with pytest.raises(ValueError):
+            build_frame(self._flow(), 32)
+
+    def test_ttl_parameter(self):
+        frame = build_frame(self._flow(), 64, ttl=7)
+        assert frame[22] == 7
+
+
+class TestFlowSet:
+    def test_deterministic_for_seed(self):
+        a = FlowSet(64, random.Random(1))
+        b = FlowSet(64, random.Random(1))
+        assert list(a) == list(b)
+
+    def test_count(self):
+        assert len(FlowSet(17, random.Random(0))) == 17
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ValueError):
+            FlowSet(0, random.Random(0))
+
+    def test_zipf_concentration(self):
+        """Top-10% flows should carry well over 10% of picks."""
+        flows = FlowSet(100, random.Random(3))
+        top = set(flows[i] for i in range(10))
+        hits = sum(1 for _ in range(5000) if flows.pick() in top)
+        assert hits > 1500
+
+    def test_icmp_flows_have_no_ports(self):
+        flows = FlowSet(
+            200, random.Random(5), proto_mix=((PROTO_ICMP, 1.0),)
+        )
+        assert all(f.src_port == 0 and f.dst_port == 0 for f in flows)
+
+    def test_reversed_flow(self):
+        flow = FlowSet(1, random.Random(1))[0]
+        rev = flow.reversed()
+        assert rev.src_ip == flow.dst_ip
+        assert rev.dst_port == flow.src_port
+        assert rev.reversed() == flow
+
+    def test_rss_hash_is_deterministic(self):
+        flow = FlowSet(1, random.Random(2))[0]
+        assert flow.rss_hash() == flow.rss_hash()
+
+    def test_rss_hash_spreads(self):
+        flows = FlowSet(256, random.Random(7))
+        buckets = {f.rss_hash() % 4 for f in flows}
+        assert buckets == {0, 1, 2, 3}
+
+
+class TestFixedSizeTrace:
+    def test_all_frames_have_requested_size(self):
+        gen = FixedSizeTraceGenerator(256, TraceSpec(pool_size=64))
+        assert all(len(p) == 256 for p in gen.packets(100))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FixedSizeTraceGenerator(32)
+        with pytest.raises(ValueError):
+            FixedSizeTraceGenerator(9000)
+
+    def test_sequence_annotation_increments(self):
+        gen = FixedSizeTraceGenerator(64, TraceSpec(pool_size=8))
+        seqs = [p.anno_u32(ANNO_SEQUENCE) for p in gen.packets(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_cbr_timestamps(self):
+        gen = FixedSizeTraceGenerator(64, TraceSpec(pool_size=8))
+        pkts = list(gen.packets(4, rate_pps=1e6))
+        gaps = [pkts[i + 1].timestamp - pkts[i].timestamp for i in range(3)]
+        assert all(abs(g - 1e-6) < 1e-12 for g in gaps)
+
+    def test_pool_cycles(self):
+        gen = FixedSizeTraceGenerator(64, TraceSpec(pool_size=4))
+        frames = [p.data_bytes() for p in gen.packets(8)]
+        assert frames[:4] == frames[4:]
+
+    def test_deterministic_across_instances(self):
+        spec = TraceSpec(seed=11, pool_size=16)
+        a = [p.data_bytes() for p in FixedSizeTraceGenerator(128, spec).packets(16)]
+        b = [p.data_bytes() for p in FixedSizeTraceGenerator(128, spec).packets(16)]
+        assert a == b
+
+    def test_rss_hash_attached(self):
+        gen = FixedSizeTraceGenerator(64, TraceSpec(pool_size=32, n_flows=32))
+        hashes = {p.rss_hash for p in gen.packets(32)}
+        assert len(hashes) > 1
+
+
+class TestCampusTrace:
+    def test_mean_size_near_981(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=4096))
+        mean = gen.mean_frame_length()
+        assert 920 <= mean <= 1040, "campus trace mean %.1f drifted from 981" % mean
+
+    def test_analytic_mean_near_981(self):
+        assert 940 <= CampusTraceGenerator.expected_mean() <= 1020
+
+    def test_sizes_are_bimodal(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=2048))
+        sizes = [len(p) for p in gen.packets(2048)]
+        small = sum(1 for s in sizes if s < 128)
+        large = sum(1 for s in sizes if s >= 1400)
+        assert small > 200
+        assert large > 800
+
+    def test_sizes_within_ethernet_limits(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=512))
+        assert all(64 <= len(p) <= 1514 for p in gen.packets(512))
+
+    def test_protocol_mix_mostly_tcp(self):
+        gen = CampusTraceGenerator(TraceSpec(pool_size=1024))
+        tcp = sum(1 for p in gen.packets(1024) if p.data_bytes()[23] == PROTO_TCP)
+        assert tcp > 700

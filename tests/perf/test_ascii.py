@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.perf.ascii import bar_chart, line_chart
+
+
+class TestLineChart:
+    def _one_series(self):
+        return {"up": ([1.0, 2.0, 3.0], [10.0, 20.0, 30.0])}
+
+    def test_renders_title_and_legend(self):
+        chart = line_chart(self._one_series(), title="T", x_label="GHz",
+                           y_label="Gbps")
+        assert chart.startswith("T")
+        assert "x up" in chart
+        assert "GHz" in chart and "Gbps" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = line_chart(self._one_series())
+        assert "30" in chart and "10" in chart
+        assert chart.rstrip().count("\n") > 10
+
+    def test_monotone_series_renders_diagonal(self):
+        chart = line_chart(self._one_series(), width=30, height=10)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        cols = [row.index("x") for row in rows if "x" in row]
+        # Higher rows (earlier lines) hold higher y -> larger x positions.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart({
+            "a": ([0, 1], [0, 1]),
+            "b": ([0, 1], [1, 0]),
+        })
+        assert "x a" in chart and "o b" in chart
+
+    def test_flat_series_ok(self):
+        chart = line_chart({"flat": ([0, 1, 2], [5.0, 5.0, 5.0])})
+        assert "flat" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"bad": ([1, 2], [1])})
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("#") == 2 * line_a.count("#")
+
+    def test_values_annotated(self):
+        chart = bar_chart(["x"], [3.5], unit=" Mpps")
+        assert "3.50 Mpps" in chart
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])

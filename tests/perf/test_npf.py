@@ -1,0 +1,133 @@
+"""Tests for the NPF-style experiment orchestration."""
+
+import os
+
+import pytest
+
+from repro.perf.npf import NpfRunner, ResultSet, TestResult, Variable
+
+
+def fake_runner(seed, freq, size=64):
+    # Deterministic in the point, jittered by seed (like real runs).
+    base = freq * 10 + size / 100
+    return {"gbps": base + (seed % 3) * 0.1, "mpps": base / 8}
+
+
+class TestVariable:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Variable("freq", [])
+
+
+class TestNpfRunner:
+    def test_grid_coverage(self):
+        runner = NpfRunner(repeats=2)
+        results = runner.run(
+            "demo",
+            [Variable("freq", [1.2, 2.4]), Variable("size", [64, 1024])],
+            fake_runner,
+        )
+        assert len(results.results) == 4
+        points = {(r.point["freq"], r.point["size"]) for r in results.results}
+        assert points == {(1.2, 64), (1.2, 1024), (2.4, 64), (2.4, 1024)}
+
+    def test_repeats_collected(self):
+        runner = NpfRunner(repeats=3)
+        results = runner.run("demo", [Variable("freq", [2.0])], fake_runner)
+        assert len(results.results[0].metrics["gbps"]) == 3
+
+    def test_median_across_repeats(self):
+        result = TestResult(point={}, metrics={"x": [1.0, 5.0, 3.0]})
+        assert result.median("x") == 3.0
+
+    def test_spread(self):
+        result = TestResult(point={}, metrics={"x": [9.0, 10.0, 11.0]})
+        assert result.spread("x") == pytest.approx(0.1)
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            NpfRunner(repeats=0)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            NpfRunner().run("demo", [Variable("freq", [])], fake_runner)
+
+    def test_seeds_vary_per_repeat(self):
+        seen = []
+
+        def spy(seed, freq):
+            seen.append(seed)
+            return {"m": 1.0}
+
+        NpfRunner(repeats=3).run("demo", [Variable("freq", [1.0])], spy)
+        assert len(set(seen)) == 3
+
+
+class TestResultSet:
+    def _results(self):
+        return NpfRunner(repeats=2).run(
+            "demo",
+            [Variable("freq", [1.2, 2.4]), Variable("size", [64])],
+            fake_runner,
+        )
+
+    def test_rows(self):
+        rows = self._results().rows()
+        assert rows[0]["freq"] == 1.2
+        assert "gbps" in rows[0]
+
+    def test_column(self):
+        column = self._results().column("gbps")
+        assert len(column) == 2
+        assert column[1] > column[0]
+
+    def test_filtered(self):
+        hits = self._results().filtered(freq=2.4)
+        assert len(hits) == 1
+        assert hits[0].point["size"] == 64
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "out.csv")
+        self._results().to_csv(path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0] == "freq,size,gbps,mpps"
+        assert len(lines) == 3
+
+    def test_format(self):
+        text = self._results().format()
+        assert "demo" in text
+        assert "gbps" in text
+
+
+class TestWithRealBinaries:
+    def test_orchestrates_simulated_measurements(self):
+        """End to end: an NPF grid over real builds."""
+        from repro.core import nfs
+        from repro.core.options import BuildOptions
+        from repro.core.packetmill import PacketMill
+        from repro.hw.params import MachineParams
+        from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+        from repro.perf.runner import measure_throughput
+
+        def run_point(seed, variant):
+            options = (
+                BuildOptions.packetmill() if variant == "packetmill"
+                else BuildOptions.vanilla()
+            )
+            trace = lambda port, core: FixedSizeTraceGenerator(256, TraceSpec(seed=seed))
+            binary = PacketMill(
+                nfs.forwarder(), options,
+                params=MachineParams(freq_ghz=2.3), trace=trace, seed=seed,
+            ).build()
+            point = measure_throughput(binary, batches=40, warmup_batches=20)
+            return {"mpps": point.mpps}
+
+        results = NpfRunner(repeats=2).run(
+            "variants", [Variable("variant", ["vanilla", "packetmill"])], run_point
+        )
+        vanilla = results.filtered(variant="vanilla")[0].median("mpps")
+        packetmill = results.filtered(variant="packetmill")[0].median("mpps")
+        assert packetmill > vanilla
+        # Repeats agree within a few percent (measurement stability).
+        assert results.filtered(variant="vanilla")[0].spread("mpps") < 0.05

@@ -1,0 +1,71 @@
+"""Tests for the per-element profiler."""
+
+import pytest
+
+from repro.core import nfs
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+from repro.perf.profiler import ElementProfiler
+
+
+def build(config, options=None, s_mb=None):
+    trace = lambda port, core: FixedSizeTraceGenerator(512, TraceSpec(seed=6))
+    return PacketMill(config, options or BuildOptions.vanilla(),
+                      params=MachineParams(), trace=trace).build()
+
+
+class TestProfiler:
+    def test_attribution_sums_to_total(self):
+        binary = build(nfs.router())
+        report = ElementProfiler(binary).profile(batches=60, warmup_batches=30)
+        attributed = sum(p.ns for p in report.elements.values())
+        assert attributed == pytest.approx(report.total_ns, rel=0.02)
+
+    def test_every_traversed_element_charged(self):
+        binary = build(nfs.router())
+        report = ElementProfiler(binary).profile(batches=40, warmup_batches=20)
+        for name in ("c", "rt", "dec"):
+            assert report.elements[name].packets > 0
+            assert report.elements[name].ns > 0
+
+    def test_pmd_paths_present(self):
+        binary = build(nfs.forwarder())
+        report = ElementProfiler(binary).profile(batches=40, warmup_batches=20)
+        assert report.elements["<pmd-rx>"].ns > 0
+        assert report.elements["<pmd-tx>"].ns > 0
+
+    def test_untraversed_elements_zero(self):
+        binary = build(nfs.router())
+        report = ElementProfiler(binary).profile(batches=40, warmup_batches=20)
+        # No ARP traffic in the trace: the responder never runs.
+        arp = binary.graph.by_class("ARPResponder")[0].name
+        assert report.elements[arp].packets == 0
+
+    def test_finds_the_hot_element(self):
+        """A memory-heavy WorkPackage must dominate the profile."""
+        binary = build(nfs.workpackage_forwarder(16, 5, 20))
+        report = ElementProfiler(binary).profile(batches=60, warmup_batches=30)
+        hot = report.hottest()
+        assert hot.class_name in ("WorkPackage", "MlxPmd")
+        wp = next(p for p in report.elements.values()
+                  if p.class_name == "WorkPackage")
+        assert report.share(wp.name) > 0.25
+
+    def test_profiling_restores_hooks(self):
+        binary = build(nfs.forwarder())
+        driver_fn = binary.driver._charge_element
+        ElementProfiler(binary).profile(batches=10, warmup_batches=5)
+        assert binary.driver._charge_element == driver_fn
+        # The binary still measures normally afterwards.
+        run = binary.measure(batches=20, warmup_batches=10)
+        assert run.packets == 640
+
+    def test_format_table(self):
+        binary = build(nfs.router())
+        report = ElementProfiler(binary).profile(batches=30, warmup_batches=15)
+        table = report.format_table()
+        assert "ns/pkt" in table
+        assert "rt" in table
+        assert "total:" in table

@@ -1,0 +1,121 @@
+"""Tests for statistics helpers (percentiles and the figure fits)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf.stats import linear_fit, mean, percentile, quadratic_fit
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = list(range(100))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 99
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_unsorted_input(self):
+        data = [5, 1, 4, 2, 3]
+        assert percentile(data, 50) == 3
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_bounded_by_min_max_property(self, data):
+        for q in (0, 25, 50, 75, 99, 100):
+            value = percentile(data, q)
+            assert min(data) <= value <= max(data)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=50))
+    def test_monotone_in_q_property(self, data):
+        values = [percentile(data, q) for q in (10, 50, 90, 99)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2 + 5 * x for x in xs]
+        a, b, r2 = linear_fit(xs, ys)
+        assert a == pytest.approx(2.0)
+        assert b == pytest.approx(5.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = random.Random(1)
+        xs = [x / 10 for x in range(1, 40)]
+        ys = [3 + 2 * x + rng.gauss(0, 0.01) for x in xs]
+        a, b, r2 = linear_fit(xs, ys)
+        assert b == pytest.approx(2.0, abs=0.05)
+        assert r2 > 0.99
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_recovers_coefficients_property(self, a, b):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [a + b * x for x in xs]
+        got_a, got_b, r2 = linear_fit(xs, ys)
+        assert math.isclose(got_a, a, abs_tol=1e-6 + abs(a) * 1e-9)
+        assert math.isclose(got_b, b, abs_tol=1e-6 + abs(b) * 1e-9)
+
+
+class TestQuadraticFit:
+    def test_exact_parabola(self):
+        xs = [1.0, 1.5, 2.0, 2.5, 3.0]
+        ys = [521 - 212 * x + 39.5 * x * x for x in xs]  # Fig 4's All(f)
+        a, b, c, r2 = quadratic_fit(xs, ys)
+        assert a == pytest.approx(521, rel=1e-6)
+        assert b == pytest.approx(-212, rel=1e-6)
+        assert c == pytest.approx(39.5, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            quadratic_fit([1, 2], [1, 2])
+
+    def test_degenerate(self):
+        with pytest.raises(ValueError):
+            quadratic_fit([1, 1, 1], [1, 2, 3])
+
+    def test_fits_line_with_zero_curvature(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1 + 2 * x for x in xs]
+        a, b, c, r2 = quadratic_fit(xs, ys)
+        assert c == pytest.approx(0.0, abs=1e-9)
+        assert r2 == pytest.approx(1.0)

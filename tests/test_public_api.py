@@ -1,0 +1,74 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports(self):
+        assert repro.PacketMill.__name__ == "PacketMill"
+        assert repro.BuildOptions.vanilla().label() == "copying"
+        assert repro.MetadataModel.XCHANGE.value == "xchange"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.FluxCapacitor
+
+    def test_all_matches_lazy_table(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_headline_flow(self):
+        """The README's five-line quickstart works as written."""
+        from repro import BuildOptions, PacketMill
+        from repro.core.nfs import forwarder
+        from repro.hw.params import MachineParams
+        from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+        from repro.perf.runner import measure_throughput
+
+        params = MachineParams(freq_ghz=2.3)
+        trace = FixedSizeTraceGenerator(512, TraceSpec(seed=1))
+        vanilla = PacketMill(forwarder(), BuildOptions.vanilla(), params=params,
+                             trace=trace).build()
+        trace2 = FixedSizeTraceGenerator(512, TraceSpec(seed=1))
+        packetmill = PacketMill(forwarder(), BuildOptions.packetmill(),
+                                params=params, trace=trace2).build()
+        v = measure_throughput(vanilla, batches=60, warmup_batches=30)
+        p = measure_throughput(packetmill, batches=60, warmup_batches=30)
+        assert p.pps > v.pps
+
+
+class TestPackageLayering:
+    """Lower layers must not import upper layers (the DESIGN.md stack)."""
+
+    @pytest.mark.parametrize("lower,upper", [
+        ("repro.net", "repro.hw"),
+        ("repro.hw", "repro.dpdk"),
+        ("repro.compiler", "repro.click"),
+        ("repro.dpdk", "repro.click"),
+        ("repro.click", "repro.core"),
+        ("repro.net", "repro.core"),
+    ])
+    def test_no_upward_imports(self, lower, upper):
+        import pkgutil
+        import os
+
+        package = __import__(lower, fromlist=["__path__"])
+        root = os.path.dirname(package.__file__)
+        offenders = []
+        for dirpath, _, files in os.walk(root):
+            for fname in files:
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                with open(path) as handle:
+                    text = handle.read()
+                if "from %s" % upper in text or "import %s" % upper in text:
+                    offenders.append(path)
+        assert not offenders, "layering violation: %s imports %s in %s" % (
+            lower, upper, offenders,
+        )
