@@ -19,12 +19,21 @@ The package is organized in layers, bottom-up:
 
 __version__ = "1.0.0"
 
-__all__ = ["PacketMill", "BuildOptions", "MetadataModel", "__version__"]
+__all__ = [
+    "PacketMill",
+    "BuildOptions",
+    "MetadataModel",
+    "FaultSchedule",
+    "FaultSpec",
+    "__version__",
+]
 
 _LAZY = {
     "PacketMill": ("repro.core.packetmill", "PacketMill"),
     "BuildOptions": ("repro.core.options", "BuildOptions"),
     "MetadataModel": ("repro.core.options", "MetadataModel"),
+    "FaultSchedule": ("repro.faults.schedule", "FaultSchedule"),
+    "FaultSpec": ("repro.faults.schedule", "FaultSpec"),
 }
 
 

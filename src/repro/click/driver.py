@@ -23,6 +23,7 @@ from repro.click.element import Element
 from repro.click.graph import ProcessingGraph
 from repro.compiler.lower import ExecProgram
 from repro.compiler.runtime import Bindings, execute
+from repro.dpdk.mempool import MempoolEmptyError
 
 DISPATCH_VIRTUAL = "virtual"
 DISPATCH_DIRECT = "direct"
@@ -65,7 +66,14 @@ class DispatchPolicy:
 
 @dataclass
 class RunStats:
-    """Functional outcome of one measurement run."""
+    """Functional outcome of one measurement run.
+
+    Beyond the healthy-path totals, a run carries the degraded-path
+    ledger: hardware-level drops mirrored from the NICs (``rx_nombuf``,
+    ``imissed``, ``rx_errors``, ``tx_full``), element error-boundary
+    incidents, and watchdog recoveries.  All of these stay zero on a
+    fault-free run.
+    """
 
     batches: int = 0
     rx_packets: int = 0
@@ -73,11 +81,41 @@ class RunStats:
     tx_bytes: int = 0
     drops: int = 0
     drops_by_element: Dict[str, int] = field(default_factory=dict)
+    # -- hardware drop counters (delta since the last stats reset) ---------
+    rx_nombuf: int = 0
+    imissed: int = 0
+    rx_errors: int = 0
+    tx_full: int = 0
+    hw_counters: Dict[str, int] = field(default_factory=dict)
+    # -- software degradation counters -------------------------------------
+    error_batches: int = 0
+    errors_by_element: Dict[str, int] = field(default_factory=dict)
+    watchdog_resets: int = 0
+    clone_alloc_failures: int = 0
 
     def record_drop(self, element_name: str, count: int = 1) -> None:
         self.drops += count
         self.drops_by_element[element_name] = (
             self.drops_by_element.get(element_name, 0) + count
+        )
+
+    def record_element_error(self, element_name: str) -> None:
+        self.error_batches += 1
+        self.errors_by_element[element_name] = (
+            self.errors_by_element.get(element_name, 0) + 1
+        )
+
+    @property
+    def dropped_total(self) -> int:
+        """Every packet lost after delivery: pipeline kills + RX errors."""
+        return self.drops + self.rx_errors
+
+    @property
+    def fault_degraded(self) -> bool:
+        """Whether any degraded-path counter fired during this run."""
+        return bool(
+            self.rx_nombuf or self.imissed or self.rx_errors or self.tx_full
+            or self.error_batches or self.watchdog_resets
         )
 
 
@@ -93,6 +131,8 @@ class RouterDriver:
         dispatch: DispatchPolicy,
         pmds: Dict[int, "MlxPmd"],  # noqa: F821 - forward ref to avoid cycle
         burst: int = 32,
+        injector=None,
+        watchdog=None,
     ):
         self.graph = graph
         self.cpu = cpu
@@ -101,7 +141,10 @@ class RouterDriver:
         self.dispatch = dispatch
         self.pmds = pmds
         self.burst = burst
+        self.injector = injector
+        self.watchdog = watchdog
         self.stats = RunStats()
+        self._hw_base: Dict[str, int] = {}
         self.rx_elements: List[Element] = []
         self.queue_elements: List[Element] = [
             e for e in graph.all_elements()
@@ -123,6 +166,8 @@ class RouterDriver:
         # All PMDs of one build share the metadata model; dropped packets
         # hand their buffers back to it (Click's Packet::kill()).
         self._model = next(iter(pmds.values())).model
+        # Any rx_nombuf hits during initial ring fill predate measurement.
+        self._hw_base = self.hw_counters()
 
     # -- execution -----------------------------------------------------------------
 
@@ -133,6 +178,15 @@ class RouterDriver:
                 self._model.release(pkt.mbuf, self.cpu)
                 pkt.mbuf = None
         self.stats.record_drop(element_name, len(packets))
+
+    def _quarantine(self, element: Element, packets) -> None:
+        """Error boundary: a raising element forfeits its batch, not the run.
+
+        The batch's buffers are released (counted as drops at this
+        element), the incident is recorded, and the main loop continues.
+        """
+        self.stats.record_element_error(element.name)
+        self._kill(element.name, packets)
 
     def _clone_packet(self, element: Element, pkt):
         """Duplicate a packet into a fresh app-allocated buffer (Tee)."""
@@ -145,6 +199,14 @@ class RouterDriver:
         if hasattr(element, "cloned"):
             element.cloned += 1
         return clone
+
+    def _safe_clone(self, element: Element, pkt):
+        """Clone, degrading to "no clone" when the pool is exhausted."""
+        try:
+            return self._clone_packet(element, pkt)
+        except MempoolEmptyError:
+            self.stats.clone_alloc_failures += 1
+            return None
 
     def _charge_element(self, element: Element, batch: List) -> None:
         self.dispatch.charge(self.cpu, element, self.params)
@@ -168,14 +230,23 @@ class RouterDriver:
     def _push_batch(self, element: Element, batch: List, tx_queues) -> None:
         """Recursively push a batch through the graph from ``element``."""
         while True:
-            self._charge_element(element, batch)
+            try:
+                self._charge_element(element, batch)
+            except Exception:
+                self._quarantine(element, batch)
+                return
             if element.decl.class_name == "ToDPDKDevice":
                 tx_queues.setdefault(element.name, (element, []))[1].extend(batch)
                 return
             out: Dict[int, List] = {}
             clones = getattr(element, "clones_packets", False)
-            for pkt in batch:
-                port = element.process(pkt)
+            failed_at = None
+            for i, pkt in enumerate(batch):
+                try:
+                    port = element.process(pkt)
+                except Exception:
+                    failed_at = i
+                    break
                 if port is None:
                     self._kill(element.name, (pkt,))
                     continue
@@ -184,9 +255,17 @@ class RouterDriver:
                 out.setdefault(port, []).append(pkt)
                 if clones:
                     for extra_port in range(1, element.n_outputs):
-                        out.setdefault(extra_port, []).append(
-                            self._clone_packet(element, pkt)
-                        )
+                        clone = self._safe_clone(element, pkt)
+                        if clone is not None:
+                            out.setdefault(extra_port, []).append(clone)
+            if failed_at is not None:
+                # Quarantine the batch: the unprocessed remainder plus
+                # whatever this element had already routed.
+                leftovers = list(batch[failed_at:])
+                for sub_batch in out.values():
+                    leftovers.extend(sub_batch)
+                self._quarantine(element, leftovers)
+                return
             if not out:
                 return
             # Fast path: single output port, continue iteratively.
@@ -207,14 +286,26 @@ class RouterDriver:
             return
 
     def run_batches(self, n_batches: int) -> RunStats:
-        """Run the main loop for ``n_batches`` iterations."""
+        """Run the main loop for ``n_batches`` iterations.
+
+        A finite trace ends the run early but cleanly: once every RX
+        source is exhausted and the pipeline has drained, remaining
+        iterations are skipped and the stats stay intact.
+        """
         for _ in range(n_batches):
             self.step()
+            if self.at_eof():
+                self.quiesce()
+                break
+        self._sync_hw_stats()
         return self.stats
 
     def step(self) -> int:
         """One main-loop iteration; returns packets received."""
+        if self.injector is not None:
+            self.injector.begin_iteration()
         received = 0
+        transmitted = 0
         for rx in self.rx_elements:
             batch = rx.pmd.rx_burst(rx.param("burst"))
             if not batch:
@@ -223,7 +314,11 @@ class RouterDriver:
             self.stats.rx_packets += len(batch)
             tx_queues: Dict[str, tuple] = {}
             target = rx.target(0)
-            self._charge_element(rx, batch)
+            try:
+                self._charge_element(rx, batch)
+            except Exception:
+                self._quarantine(rx, batch)
+                continue
             if target is None:
                 self._kill(rx.name, batch)
             else:
@@ -231,12 +326,82 @@ class RouterDriver:
             self._drain_queues(tx_queues)
             for element, pkts in tx_queues.values():
                 sent = element.pmd.tx_burst(pkts)
+                transmitted += sent
                 self.stats.tx_packets += sent
                 self.stats.tx_bytes += sum(len(p) for p in pkts[:sent])
                 if sent < len(pkts):  # TX ring full: unsent packets die
                     self._kill(element.name, pkts[sent:])
         self.stats.batches += 1
+        if self.watchdog is not None:
+            if self.watchdog.observe(received > 0 or transmitted > 0):
+                self._watchdog_recover()
         return received
+
+    # -- degraded-path support ---------------------------------------------------
+
+    def _watchdog_recover(self) -> None:
+        """Reset a stalled pipeline: reap TX, replenish RX on every PMD."""
+        for pmd in self._unique_pmds():
+            pmd.recover()
+        self.stats.watchdog_resets += 1
+
+    def _unique_pmds(self):
+        seen: List = []
+        for pmd in self.pmds.values():
+            if pmd not in seen:
+                seen.append(pmd)
+        return seen
+
+    def _nics(self):
+        seen: List = []
+        for pmd in self._unique_pmds():
+            if pmd.nic not in seen:
+                seen.append(pmd.nic)
+        return seen
+
+    def at_eof(self) -> bool:
+        """All finite RX traces drained and no packets parked in queues."""
+        return (
+            all(rx.pmd.nic.trace_exhausted for rx in self.rx_elements)
+            and self.in_flight_packets() == 0
+        )
+
+    def quiesce(self) -> None:
+        """Release every buffer still parked on a TX ring (end of run)."""
+        for pmd in self._unique_pmds():
+            pmd.drain_tx()
+
+    def in_flight_packets(self) -> int:
+        """Packets held inside the pipeline (Queue elements).
+
+        Unreaped TX-ring buffers are *not* in flight: those packets were
+        already counted as transmitted when the NIC accepted them.
+        """
+        return sum(
+            queue.occupancy for queue in self.queue_elements
+            if hasattr(queue, "occupancy")
+        )
+
+    def hw_counters(self) -> Dict[str, int]:
+        """Aggregate NIC drop/error counters across this core's ports."""
+        total: Dict[str, int] = {}
+        for nic in self._nics():
+            for name, value in nic.counters.snapshot().items():
+                total[name] = total.get(name, 0) + value
+        return total
+
+    def _sync_hw_stats(self) -> None:
+        """Mirror the NIC counters into RunStats as a delta since reset."""
+        delta = {
+            name: value - self._hw_base.get(name, 0)
+            for name, value in self.hw_counters().items()
+        }
+        stats = self.stats
+        stats.rx_nombuf = delta.get("rx_nombuf", 0)
+        stats.imissed = delta.get("imissed", 0)
+        stats.rx_errors = delta.get("rx_errors", 0)
+        stats.tx_full = delta.get("tx_full", 0)
+        stats.hw_counters = delta
 
     def _drain_queues(self, tx_queues) -> None:
         """Drain buffering elements at the end of the iteration.
@@ -262,3 +427,4 @@ class RouterDriver:
 
     def reset_stats(self) -> None:
         self.stats = RunStats()
+        self._hw_base = self.hw_counters()

@@ -1,4 +1,10 @@
-"""DPDK I/O elements: the bridge between the graph and the PMD."""
+"""DPDK I/O elements: the bridge between the graph and the PMD.
+
+Both elements expose the bound port's drop/error counters through the
+handler broker (``input.rx_nombuf``, ``input.imissed``, ``output.tx_full``,
+and the full ``xstats`` dump) -- see :mod:`repro.click.handlers` and
+:mod:`repro.faults` for the degraded paths that feed them.
+"""
 
 from __future__ import annotations
 
@@ -25,6 +31,10 @@ class FromDPDKDevice(Element):
         self.declare_param("n_queues", int(kwargs.get("N_QUEUES", 1)))
         self.declare_param("burst", int(kwargs.get("BURST", 32)))
         self.pmd = None  # bound at build time
+
+    def xstats(self):
+        """The bound port's drop/error counters (empty when unbound)."""
+        return {} if self.pmd is None else self.pmd.nic.counters.snapshot()
 
     def process(self, pkt):
         return 0
@@ -56,6 +66,10 @@ class ToDPDKDevice(Element):
         self.declare_param("port", port)
         self.declare_param("burst", int(kwargs.get("BURST", 32)))
         self.pmd = None  # bound at build time
+
+    def xstats(self):
+        """The bound port's drop/error counters (empty when unbound)."""
+        return {} if self.pmd is None else self.pmd.nic.counters.snapshot()
 
     def process(self, pkt):
         return 0  # the driver intercepts packets entering this element

@@ -97,6 +97,25 @@ def _class_handlers(element) -> Dict[str, Handler]:
         add("footprint", read=lambda e: str(e.footprint_bytes))
     elif cls == "Print":
         add("lines", read=lambda e: "\n".join(e.lines))
+    elif cls in ("FromDPDKDevice", "ToDPDKDevice"):
+        # Mirrors rte_eth_stats/xstats on the bound port.  The PMD is
+        # attached at build time; before that the handlers read as zeros.
+        def _nic_counter(e, name):
+            return str(e.xstats().get(name, 0))
+
+        def _xstats(e):
+            snap = e.xstats()
+            if not snap:
+                return "(unbound)"
+            return "\n".join("%s: %d" % (k, snap[k]) for k in sorted(snap))
+
+        add("xstats", read=_xstats)
+        if cls == "FromDPDKDevice":
+            add("rx_nombuf", read=lambda e: _nic_counter(e, "rx_nombuf"))
+            add("imissed", read=lambda e: _nic_counter(e, "imissed"))
+            add("rx_errors", read=lambda e: _nic_counter(e, "rx_errors"))
+        else:
+            add("tx_full", read=lambda e: _nic_counter(e, "tx_full"))
     handlers = {k: v for k, v in handlers.items() if v.readable or v.writable}
     return handlers
 

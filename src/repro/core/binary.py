@@ -27,6 +27,8 @@ class MeasuredRun:
     instructions: float
     total_cycles: float
     counters: dict
+    #: The driver's full RunStats (drop ledger included), when available.
+    stats: Optional[RunStats] = None
 
     @property
     def ns_per_packet(self) -> float:
@@ -64,6 +66,7 @@ class SpecializedBinary:
         self.trace = trace
         self.model = model
         self.pass_manager = pass_manager
+        self.injector = None  # set by PacketMill when a fault schedule is wired
 
     # -- measurement ------------------------------------------------------------
 
@@ -83,6 +86,16 @@ class SpecializedBinary:
         counters = self.cpu.counters
         packets = stats.rx_packets
         counters.packets += packets
+        # Mirror the degraded-path ledger into the perf counter view so
+        # reports can tell "CPU-bound" from "fault-degraded" (all zero on
+        # a healthy run; stats fields are deltas since the last reset).
+        counters.rx_nombuf = stats.rx_nombuf
+        counters.imissed = stats.imissed
+        counters.rx_errors = stats.rx_errors
+        counters.tx_full = stats.tx_full
+        counters.sw_drops = stats.drops
+        counters.element_errors = stats.error_batches
+        counters.watchdog_resets = stats.watchdog_resets
         return MeasuredRun(
             packets=packets,
             tx_packets=stats.tx_packets,
@@ -92,6 +105,7 @@ class SpecializedBinary:
             instructions=self.cpu.instructions,
             total_cycles=self.cpu.total_cycles(),
             counters=counters.snapshot(),
+            stats=stats,
         )
 
     def measure(self, batches: int = 300, warmup_batches: int = 120) -> MeasuredRun:

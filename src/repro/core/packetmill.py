@@ -37,6 +37,9 @@ from repro.dpdk.metadata import CopyingModel, OverlayingModel, XChangeModel
 from repro.dpdk.nic import Nic
 from repro.dpdk.tinynf import TinyNfModel
 from repro.dpdk.pmd import MlxPmd
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.faults.watchdog import DEFAULT_THRESHOLD, Watchdog
 from repro.dpdk.xchg_api import fastclick_conversions
 from repro.hw.cpu import CpuCore
 from repro.hw.layout import AddressSpace
@@ -66,12 +69,16 @@ class PacketMill:
         trace: Union[None, object, TraceFactory] = None,
         seed: int = 0,
         burst: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
+        watchdog_threshold: int = DEFAULT_THRESHOLD,
     ):
         self.config = config
         self.options = options or BuildOptions.vanilla()
         self.params = params or DEFAULT_PARAMS
         self.seed = seed
         self.burst = burst or self.options.burst
+        self.faults = faults
+        self.watchdog_threshold = watchdog_threshold
         if trace is None:
             self._trace_factory: TraceFactory = _default_trace_factory
         elif callable(trace) and not hasattr(trace, "next_packet"):
@@ -181,10 +188,23 @@ class PacketMill:
         )
         if not ports:
             raise BuildError("configuration uses no DPDK ports")
+        # -- fault wiring (inert unless a non-empty schedule was given) --------
+        injector = None
+        watchdog = None
+        if self.faults is not None and not self.faults.is_empty:
+            # Offset the seed per core so replicas see decorrelated-but-
+            # deterministic fault sequences.
+            injector = FaultInjector(self.faults, seed=self.faults.seed + 7919 * core_id)
+            if model.mempool is not None:
+                injector.bind_mempool(model.mempool)
+            watchdog = Watchdog(self.watchdog_threshold)
+
         pmds: Dict[int, MlxPmd] = {}
         for port in ports:
             trace = self._trace_factory(port, core_id)
-            nic = Nic(params, mem, space, trace, name="nic%d_c%d" % (port, core_id))
+            nic = Nic(params, mem, space, trace,
+                      name="nic%d_c%d" % (port, core_id), port=port)
+            nic.faults = injector
             pmds[port] = MlxPmd(
                 nic, model, cpu, registry,
                 lto=options.lto,
@@ -194,7 +214,8 @@ class PacketMill:
 
         dispatch = self._dispatch_policy()
         driver = RouterDriver(
-            graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst
+            graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst,
+            injector=injector, watchdog=watchdog,
         )
         binary = SpecializedBinary(
             options=options,
@@ -211,4 +232,5 @@ class PacketMill:
             model=model,
         )
         binary.pass_manager = pass_manager
+        binary.injector = injector
         return binary

@@ -68,6 +68,12 @@ class Mempool:
     def available(self) -> int:
         return len(self._free)
 
+    @property
+    def in_flight(self) -> int:
+        """Buffers currently out of the pool (the leak-invariant ledger:
+        ``gets == puts + in_flight`` must hold at all times)."""
+        return self.n - len(self._free)
+
     def get(self, cpu=None) -> BufferRef:
         """Pop one mbuf; charges the freelist head access when ``cpu`` given."""
         if not self._free:

@@ -7,25 +7,61 @@ Under saturation the NIC always has a frame ready for every posted RX
 buffer, which is how the throughput experiments drive the device under
 test; open-loop arrival timing for the latency experiments is layered on
 top by :mod:`repro.perf.loadlatency`.
+
+Degraded operation is modelled the way real hardware reports it -- as
+counters, not exceptions (:class:`NicCounters`, mirroring DPDK's
+``rte_eth_stats``/xstats).  When a :class:`repro.faults.FaultInjector` is
+attached (``nic.faults``), arriving frames can be withheld (link flaps,
+CQE stalls, underruns), damaged in place (truncation, corruption), or
+lost for want of a posted descriptor (``imissed``).  Without an injector
+the delivery path is byte-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, List, Tuple
 
 from repro.dpdk.mbuf import CQE_SIZE, TX_WQE_SIZE, BufferRef
 from repro.dpdk.ring import DescriptorRing
 from repro.net.packet import Packet
 
 
+@dataclass
+class NicCounters:
+    """Drop/error accounting, mirroring DPDK's port stats and xstats."""
+
+    rx_nombuf: int = 0        # RX replenish failed: mempool empty
+    imissed: int = 0          # frame arrived with no posted descriptor
+    rx_errors: int = 0        # damaged frames discarded by the PMD
+    rx_truncated: int = 0     # ... of which runt/short frames
+    rx_corrupt: int = 0       # ... of which checksum failures
+    tx_full: int = 0          # packets refused because the TX path was full
+    link_down_polls: int = 0  # polls answered while the link was down
+    cqe_stalls: int = 0       # polls answered while completions stalled
+    rx_underruns: int = 0     # polls that found no frame ready
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def add(self, other: "NicCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
 class Nic:
     """One port of the simulated NIC, driven by a trace source."""
 
-    def __init__(self, params, mem, space, trace, name: str = "nic0"):
+    def __init__(self, params, mem, space, trace, name: str = "nic0", port: int = 0):
         self.params = params
         self.mem = mem
         self.trace = trace
         self.name = name
+        self.port = port
         self.rx_ring = DescriptorRing(space, params.rx_ring_size, 16, name + "_rxwq")
         self.cq = DescriptorRing(space, params.rx_ring_size, CQE_SIZE, name + "_cq")
         self.tx_ring = DescriptorRing(space, params.tx_ring_size, TX_WQE_SIZE, name + "_txwq")
@@ -33,6 +69,9 @@ class Nic:
         self.rx_delivered = 0
         self.tx_sent = 0
         self.tx_bytes = 0
+        self.counters = NicCounters()
+        self.faults = None  # optional repro.faults.FaultInjector
+        self.trace_exhausted = False
 
     # -- RX side --------------------------------------------------------------
 
@@ -49,15 +88,37 @@ class Nic:
 
         Each delivery DMA-writes the frame into the buffer's data room and
         a CQE into the completion queue (both via DDIO), then hands
-        (buffer, packet) to the PMD.
+        (buffer, packet) to the PMD.  A finite trace ends deliveries
+        cleanly (``trace_exhausted``); an attached fault injector may
+        shrink the budget, damage frames, or -- when the RX ring has run
+        dry under it -- count the frames that kept arriving as ``imissed``
+        drops, exactly as a saturating source would produce on real
+        hardware.
         """
+        injector = self.faults
+        budget = max_n
+        if injector is not None:
+            budget = injector.rx_budget(self, max_n)
         out = []
-        for _ in range(max_n):
+        for _ in range(budget):
             if self.rx_ring.is_empty():
+                if injector is not None:
+                    # Saturated source: frames keep arriving; with no
+                    # posted descriptor the hardware drops them.
+                    self.counters.imissed += budget - len(out)
                 break
             _, ref = self.rx_ring.pop()
-            pkt = self.trace.next_packet()
-            pkt.port = 0
+            try:
+                pkt = self.trace.next_packet()
+            except StopIteration:
+                # Finite trace drained: re-post the unfilled buffer and
+                # end deliveries cleanly with stats intact.
+                self.trace_exhausted = True
+                self.rx_ring.push(ref)
+                break
+            pkt.port = self.port
+            if injector is not None:
+                injector.mutate_frame(pkt, self.port)
             self.mem.dma_write(ref.data_addr, len(pkt))
             cqe_addr = self.cq.slot_addr(self._cq_index)
             self._cq_index += 1

@@ -16,6 +16,7 @@ from repro.compiler.lower import ExecProgram, lower
 from repro.compiler.passes import inline_calls, profile_guided, vectorize
 from repro.compiler.runtime import Bindings, execute
 from repro.compiler.structlayout import LayoutRegistry
+from repro.dpdk.mempool import MempoolEmptyError
 from repro.dpdk.metadata import MetadataModel
 from repro.dpdk.nic import Nic
 from repro.net.packet import Packet
@@ -62,8 +63,22 @@ class MlxPmd:
         self._fill_rx_ring()
 
     def _fill_rx_ring(self) -> None:
+        self._replenish_rx(cpu=None)
+
+    def _replenish_rx(self, cpu) -> None:
+        """Top the RX ring back up; allocation failure is an rx_nombuf drop.
+
+        Real mlx5 keeps posting until the ring is full or ``rte_mbuf_raw_alloc``
+        fails, in which case it bumps ``rx_nombuf`` and retries next poll --
+        the run degrades instead of aborting.
+        """
         while not self.nic.rx_ring.is_full():
-            self.nic.post_rx(self.model.rx_buffer(cpu=None))
+            try:
+                buf = self.model.rx_buffer(cpu)
+            except MempoolEmptyError:
+                self.nic.counters.rx_nombuf += 1
+                return
+            self.nic.post_rx(buf)
 
     # -- RX ---------------------------------------------------------------------
 
@@ -73,6 +88,18 @@ class MlxPmd:
         delivered = self.nic.deliver(max_burst)
         out: List[Packet] = []
         for ref, pkt in delivered:
+            if pkt.rx_error is not None:
+                # Hardware offload validation: damaged frames are flagged
+                # in the CQE and discarded here as counted drops, the
+                # buffer going straight back to the pool.
+                counters = self.nic.counters
+                counters.rx_errors += 1
+                if pkt.rx_error == "truncated":
+                    counters.rx_truncated += 1
+                else:
+                    counters.rx_corrupt += 1
+                self.model.release(ref, self.cpu)
+                continue
             ref = self.model.on_rx(ref, self.cpu)
             # The MLX5 RX loop prefetches the CQE, the metadata struct,
             # and the packet's first lines before converting/processing.
@@ -93,9 +120,9 @@ class MlxPmd:
             )
             pkt.mbuf = ref
             out.append(pkt)
-        # Replenish the RX ring with as many buffers as were consumed.
-        for _ in range(len(delivered)):
-            self.nic.post_rx(self.model.rx_buffer(self.cpu))
+        # Replenish the RX ring with as many buffers as were consumed
+        # (topping up any deficit a previous allocation failure left).
+        self._replenish_rx(self.cpu)
         return out
 
     # -- TX -----------------------------------------------------------------------
@@ -105,12 +132,17 @@ class MlxPmd:
         if not packets:
             return 0
         self.cpu.charge_compute(BURST_OVERHEAD_INSTRUCTIONS)
+        injector = self.nic.faults
+        blocked = injector is not None and injector.tx_blocked(self.nic.port)
         sent = 0
         for pkt in packets:
             ref = pkt.mbuf
             if ref is None:
                 raise ValueError("packet has no attached DPDK buffer")
-            if self.nic.tx_ring.is_full():
+            if blocked or self.nic.tx_ring.is_full():
+                # TX backpressure: refuse the rest of the burst as counted
+                # drops and let the driver loop kill the unsent packets.
+                self.nic.counters.tx_full += len(packets) - sent
                 break
             wqe_addr = self.nic.transmit(ref, len(pkt))
             execute(
@@ -133,6 +165,16 @@ class MlxPmd:
         """Release every in-flight TX buffer (end of run)."""
         for ref in self.nic.reap_tx(0):
             self.model.release(ref, self.cpu)
+
+    def recover(self) -> None:
+        """Watchdog recovery: reap all TX completions, refill the RX ring.
+
+        This is the reset a stalled pipeline needs after a fault window
+        closes -- buffers stuck on the TX ring go back to the pool, and
+        the RX ring is topped up so polling can make progress again.
+        """
+        self.drain_tx()
+        self._replenish_rx(self.cpu)
 
 
 def build_pmd(

@@ -1,0 +1,60 @@
+"""Fault injection and graceful degradation (``repro.faults``).
+
+PacketMill's evaluation assumes a healthy testbed: the NIC always has a
+frame ready and the mempool never runs dry.  Real 100-Gbps pipelines see
+mbuf exhaustion, link flaps, corrupted frames, and backpressure -- and
+surface them as *counters* (``rx_nombuf``, ``imissed``, ...), not
+exceptions.  This package brings those failure modes to the simulator:
+
+- :mod:`repro.faults.schedule` -- declarative, seed-driven fault plans.
+- :mod:`repro.faults.injector` -- the deterministic injector the NIC,
+  PMD, and driver consult.
+- :mod:`repro.faults.watchdog` -- stalled-pipeline detection/recovery.
+- :mod:`repro.faults.audit` -- end-of-run leak and conservation checks.
+
+Wiring is done by :class:`repro.core.packetmill.PacketMill` via its
+``faults=`` argument; with no schedule (or an empty one) every hook stays
+``None`` and the data path is bit-identical to the fault-free simulator.
+"""
+
+from repro.faults.audit import (
+    MempoolLeakError,
+    assert_no_leak,
+    check_conservation,
+    mempool_audit,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    ALL_KINDS,
+    CORRUPT,
+    CQE_STALL,
+    LINK_FLAP,
+    MBUF_EXHAUSTION,
+    RATE_DIP,
+    RX_UNDERRUN,
+    TRUNCATE,
+    TX_BACKPRESSURE,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "ALL_KINDS",
+    "CORRUPT",
+    "CQE_STALL",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "LINK_FLAP",
+    "MBUF_EXHAUSTION",
+    "MempoolLeakError",
+    "RATE_DIP",
+    "RX_UNDERRUN",
+    "TRUNCATE",
+    "TX_BACKPRESSURE",
+    "Watchdog",
+    "assert_no_leak",
+    "check_conservation",
+    "mempool_audit",
+]

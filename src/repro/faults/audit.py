@@ -1,0 +1,100 @@
+"""End-of-run invariants: mempool leak detection and packet conservation.
+
+Two invariants hold for every run, healthy or degraded:
+
+1. **Mempool conservation** -- ``gets == puts + in_flight``: every buffer
+   ever allocated is either back in the pool or accounted for by a live
+   holder (posted RX descriptors, unreaped TX descriptors, packets parked
+   in Queue elements, or the fault injector's hostages).  A difference is
+   a leak (or a double-free the pool itself did not catch).
+
+2. **Packet conservation** -- every frame the NIC delivered was either
+   forwarded, counted as a drop somewhere, or is still in flight inside
+   the pipeline:
+   ``rx_delivered == tx_packets + drops + rx_errors + in_flight``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MempoolLeakError(AssertionError):
+    """The pool's gets/puts/in-flight ledger does not balance."""
+
+
+def _driver_nics(driver):
+    seen = []
+    for pmd in driver.pmds.values():
+        if pmd.nic not in seen:
+            seen.append(pmd.nic)
+    return seen
+
+
+def mempool_audit(driver, injector=None) -> Dict[str, int]:
+    """Balance the pool ledger against every live buffer holder.
+
+    Returns the breakdown; ``leak`` is the number of buffers that are
+    neither free nor attributable to any holder (0 for a clean run).
+    """
+    pool = driver._model.mempool
+    if pool is None:  # X-Change / TinyNF exchange buffers, nothing pooled
+        return {"pooled": 0, "leak": 0}
+    posted_rx = sum(nic.rx_ring.count for nic in _driver_nics(driver))
+    unreaped_tx = sum(nic.tx_ring.count for nic in _driver_nics(driver))
+    queued = sum(
+        queue.occupancy for queue in driver.queue_elements
+        if hasattr(queue, "occupancy")
+    )
+    hostages = injector.in_flight if injector is not None else 0
+    outstanding = pool.gets - pool.puts
+    accounted = posted_rx + unreaped_tx + queued + hostages
+    return {
+        "pooled": pool.n,
+        "gets": pool.gets,
+        "puts": pool.puts,
+        "outstanding": outstanding,
+        "posted_rx": posted_rx,
+        "unreaped_tx": unreaped_tx,
+        "queued": queued,
+        "hostages": hostages,
+        "leak": outstanding - accounted,
+    }
+
+
+def assert_no_leak(driver, injector=None) -> Dict[str, int]:
+    """Raise :class:`MempoolLeakError` unless the ledger balances."""
+    audit = mempool_audit(driver, injector)
+    if audit["leak"] != 0:
+        raise MempoolLeakError(
+            "mempool leak: %(leak)d buffer(s) unaccounted "
+            "(outstanding=%(outstanding)d posted_rx=%(posted_rx)d "
+            "unreaped_tx=%(unreaped_tx)d queued=%(queued)d "
+            "hostages=%(hostages)d)" % audit
+        )
+    return audit
+
+
+def check_conservation(driver, injector: Optional[object] = None) -> Dict[str, int]:
+    """Packet-conservation breakdown for the driver's *lifetime* stats.
+
+    Uses the NICs' cumulative hardware counters against the driver's
+    cumulative software stats, so it must be evaluated on a driver whose
+    stats were never reset mid-run (as the tests do).  ``balance`` is 0
+    when every delivered frame is accounted for.
+    """
+    stats = driver.stats
+    nics = _driver_nics(driver)
+    rx_delivered = sum(nic.rx_delivered for nic in nics)
+    rx_errors = sum(nic.counters.rx_errors for nic in nics)
+    in_flight = driver.in_flight_packets()
+    forwarded = stats.tx_packets
+    dropped = stats.drops
+    return {
+        "rx_delivered": rx_delivered,
+        "forwarded": forwarded,
+        "dropped": dropped,
+        "rx_errors": rx_errors,
+        "in_flight": in_flight,
+        "balance": rx_delivered - (forwarded + dropped + rx_errors + in_flight),
+    }

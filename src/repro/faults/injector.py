@@ -1,0 +1,170 @@
+"""The deterministic fault injector.
+
+One :class:`FaultInjector` is wired per core (it is attached to each of
+the core's NICs as ``nic.faults`` and to the driver).  It owns a single
+seeded RNG consumed in a fixed order -- once per opportunity, in the
+order opportunities occur in the simulation -- so two runs of the same
+schedule produce byte-identical fault sequences and therefore identical
+drop counters.
+
+The injector never raises into the data path.  Each hook either reduces a
+budget, mutates a frame in place, or withholds mempool buffers; the
+*consequences* (counted drops, backpressure) are realized by the NIC/PMD/
+driver layers, mirroring how real hardware surfaces faults as counters
+rather than exceptions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.faults import schedule as sched
+from repro.faults.schedule import FaultSchedule, FaultSpec
+
+#: Frames shorter than this are runts a real NIC discards on arrival.
+MIN_VALID_FRAME = 64
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSchedule` to one core's data path."""
+
+    def __init__(self, schedule: FaultSchedule, seed: Optional[int] = None):
+        self.schedule = schedule
+        self.seed = schedule.seed if seed is None else seed
+        self._rng = random.Random(self.seed)
+        self.tick = -1  # advanced to 0 by the first begin_iteration()
+        self._pool = None
+        self._hostages: List = []
+        #: Fault *opportunities* taken, for introspection/tests.
+        self.events = {kind: 0 for kind in sched.ALL_KINDS}
+
+    # -- wiring ------------------------------------------------------------------
+
+    def bind_mempool(self, pool) -> None:
+        """Attach the mempool that MBUF_EXHAUSTION windows squeeze."""
+        self._pool = pool
+
+    @property
+    def in_flight(self) -> int:
+        """Buffers currently held hostage (counted in the leak audit)."""
+        return len(self._hostages)
+
+    # -- per-iteration hook (driver) -----------------------------------------------
+
+    def begin_iteration(self) -> None:
+        """Advance the fault clock one main-loop iteration."""
+        self.tick += 1
+        self._apply_mempool_pressure()
+
+    def _apply_mempool_pressure(self) -> None:
+        pool = self._pool
+        if pool is None:
+            return
+        specs = self.schedule.active(sched.MBUF_EXHAUSTION, self.tick)
+        if not specs:
+            if self._hostages:
+                # Window closed: hand every hostage back to the pool.
+                while self._hostages:
+                    pool.put(self._hostages.pop())
+            return
+        # Hold ``magnitude`` of the whole pool hostage (at most everything
+        # that is currently free).  This is external pressure -- another
+        # consumer of the pool -- so no CPU cost is charged here.
+        fraction = max(spec.effective_magnitude for spec in specs)
+        target = int(round(pool.n * fraction))
+        while len(self._hostages) < target and pool.available > 0:
+            self._hostages.append(pool.get())
+            self.events[sched.MBUF_EXHAUSTION] += 1
+
+    # -- RX-side hooks (NIC) ----------------------------------------------------------
+
+    def rx_budget(self, nic, max_n: int) -> int:
+        """How many frames the NIC may deliver this poll.
+
+        Window faults zero the budget (link down, CQEs withheld); a rate
+        dip scales it; an underrun probabilistically empties one poll.
+        Counter side effects land on ``nic.counters`` so the degraded
+        state is visible exactly where real DPDK surfaces it.
+        """
+        port = nic.port
+        tick = self.tick
+        if self.schedule.active(sched.LINK_FLAP, tick, port):
+            nic.counters.link_down_polls += 1
+            self.events[sched.LINK_FLAP] += 1
+            return 0
+        if self.schedule.active(sched.CQE_STALL, tick, port):
+            nic.counters.cqe_stalls += 1
+            self.events[sched.CQE_STALL] += 1
+            return 0
+        for spec in self.schedule.active(sched.RX_UNDERRUN, tick, port):
+            if self._rng.random() < spec.probability:
+                nic.counters.rx_underruns += 1
+                self.events[sched.RX_UNDERRUN] += 1
+                return 0
+        budget = max_n
+        for spec in self.schedule.active(sched.RATE_DIP, tick, port):
+            budget = int(budget * spec.effective_magnitude)
+            self.events[sched.RATE_DIP] += 1
+        return budget
+
+    def mutate_frame(self, pkt, port: int) -> Optional[str]:
+        """Possibly damage one arriving frame in place.
+
+        Returns the damage verdict ("truncated" | "corrupt") or None.
+        The damage is genuine: corruption flips a byte inside the IP
+        header so the Internet checksum really fails; truncation shortens
+        the frame below its declared IP total length.
+        """
+        tick = self.tick
+        for spec in self.schedule.active(sched.TRUNCATE, tick, port):
+            if self._rng.random() < spec.probability:
+                self.events[sched.TRUNCATE] += 1
+                return self._truncate(pkt, spec)
+        for spec in self.schedule.active(sched.CORRUPT, tick, port):
+            if self._rng.random() < spec.probability:
+                self.events[sched.CORRUPT] += 1
+                return self._corrupt(pkt)
+        return None
+
+    @staticmethod
+    def _truncate(pkt, spec: FaultSpec) -> str:
+        keep = max(1, int(len(pkt) * spec.effective_magnitude))
+        if keep < len(pkt):
+            pkt.take(len(pkt) - keep)
+        pkt.rx_error = "truncated"
+        return "truncated"
+
+    @staticmethod
+    def _corrupt(pkt) -> str:
+        # Flip the TTL byte inside the IPv4 header (Ethernet 14 + offset 8):
+        # any header byte change invalidates the RFC 1071 header checksum.
+        data = pkt.data()
+        offset = 22 if len(pkt) > 22 else len(pkt) - 1
+        data[offset] ^= 0xFF
+        pkt.rx_error = "corrupt"
+        return "corrupt"
+
+    # -- TX-side hook (PMD) ------------------------------------------------------------
+
+    def tx_blocked(self, port: int) -> bool:
+        """Whether the TX ring refuses work this burst (peer backpressure)."""
+        for spec in self.schedule.active(sched.TX_BACKPRESSURE, self.tick, port):
+            if self._rng.random() < spec.probability:
+                self.events[sched.TX_BACKPRESSURE] += 1
+                return True
+        return False
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def release_all(self) -> None:
+        """Return every hostage buffer (end of run / audit preparation)."""
+        if self._pool is None:
+            return
+        while self._hostages:
+            self._pool.put(self._hostages.pop())
+
+    def __repr__(self) -> str:
+        return "<FaultInjector tick=%d seed=%d %s>" % (
+            self.tick, self.seed, self.schedule,
+        )

@@ -1,0 +1,45 @@
+"""Stall detection for the driver's main loop.
+
+A healthy run-to-completion loop makes progress every iteration (packets
+received or transmitted).  Under faults it can wedge: the RX ring drains
+because the mempool is exhausted, or the TX ring sits full under
+backpressure.  The watchdog counts consecutive zero-progress iterations
+and trips after ``threshold`` of them; the driver responds by reaping TX
+completions and replenishing RX rings (see ``RouterDriver``), which is
+exactly the recovery a real poll-mode driver performs opportunistically.
+"""
+
+from __future__ import annotations
+
+DEFAULT_THRESHOLD = 64
+
+
+class Watchdog:
+    """Trips after ``threshold`` consecutive zero-progress iterations."""
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD):
+        if threshold < 1:
+            raise ValueError("watchdog threshold must be >= 1")
+        self.threshold = threshold
+        self.stalled_iterations = 0
+        self.trips = 0
+
+    def observe(self, progress: bool) -> bool:
+        """Record one iteration's outcome; returns True when tripping."""
+        if progress:
+            self.stalled_iterations = 0
+            return False
+        self.stalled_iterations += 1
+        if self.stalled_iterations >= self.threshold:
+            self.trips += 1
+            self.stalled_iterations = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.stalled_iterations = 0
+
+    def __repr__(self) -> str:
+        return "<Watchdog threshold=%d stalled=%d trips=%d>" % (
+            self.threshold, self.stalled_iterations, self.trips,
+        )

@@ -24,6 +24,15 @@ class PerfCounters:
     branch_misses: int = 0
     ddio_fills: int = 0
     packets: int = 0
+    # -- degraded-path counters (NIC/software drops mirrored per run, all
+    # zero on a healthy run; see repro.faults and docs/FAULTS.md) ---------
+    rx_nombuf: int = 0
+    imissed: int = 0
+    rx_errors: int = 0
+    tx_full: int = 0
+    sw_drops: int = 0
+    element_errors: int = 0
+    watchdog_resets: int = 0
 
     def add(self, other: "PerfCounters") -> None:
         for f in fields(self):

@@ -57,6 +57,7 @@ class Packet:
         "network_header_offset",
         "transport_header_offset",
         "mbuf",
+        "rx_error",
     )
 
     def __init__(
@@ -79,6 +80,9 @@ class Packet:
         self.network_header_offset: Optional[int] = None
         self.transport_header_offset: Optional[int] = None
         self.mbuf = None  # back-pointer when overlaid on a DPDK mbuf
+        # Hardware receive verdict ("truncated" | "corrupt" | None); set by
+        # the fault injector, checked by the PMD's offload validation.
+        self.rx_error: Optional[str] = None
 
     # -- raw data ------------------------------------------------------------
 
@@ -136,6 +140,7 @@ class Packet:
         other.mac_header_offset = self.mac_header_offset
         other.network_header_offset = self.network_header_offset
         other.transport_header_offset = self.transport_header_offset
+        other.rx_error = self.rx_error
         return other
 
     # -- annotations ---------------------------------------------------------

@@ -120,6 +120,39 @@ class _PooledTrace:
             yield self.next_packet(timestamp=i * interval)
 
 
+class FiniteTrace:
+    """Cap any trace generator at ``limit`` packets (a finite capture).
+
+    ``next_packet`` raises ``StopIteration`` once the limit is reached --
+    the same exhaustion signal a replayed pcap produces -- which
+    :meth:`repro.dpdk.nic.Nic.deliver` converts into a clean end of run.
+    """
+
+    def __init__(self, inner, limit: int):
+        if limit < 0:
+            raise ValueError("trace limit must be >= 0")
+        self.inner = inner
+        self.limit = limit
+        self.produced = 0
+
+    def next_packet(self, timestamp: float = 0.0) -> Packet:
+        if self.produced >= self.limit:
+            raise StopIteration("trace exhausted after %d packets" % self.limit)
+        self.produced += 1
+        return self.inner.next_packet(timestamp)
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.produced
+
+    def mean_frame_length(self) -> float:
+        return self.inner.mean_frame_length()
+
+    @property
+    def flows(self):
+        return self.inner.flows
+
+
 class FixedSizeTraceGenerator(_PooledTrace):
     """Synthetic trace of fixed-size frames (paper §4.3, §4.6)."""
 

@@ -7,6 +7,7 @@ computes the summary statistics the figures report.
 """
 
 from repro.perf.loadlatency import LatencyResult, LoadLatencySimulator
+from repro.perf.report import classify, drop_breakdown, format_report
 from repro.perf.runner import ThroughputPoint, measure_multicore, measure_throughput
 from repro.perf.stats import linear_fit, percentile, quadratic_fit
 
@@ -14,6 +15,9 @@ __all__ = [
     "LatencyResult",
     "LoadLatencySimulator",
     "ThroughputPoint",
+    "classify",
+    "drop_breakdown",
+    "format_report",
     "linear_fit",
     "measure_multicore",
     "measure_throughput",

@@ -1,0 +1,92 @@
+"""Run health reporting: distinguish "CPU-bound" from "fault-degraded".
+
+A throughput number alone cannot tell an operator *why* a run fell short
+of line rate: the core may simply be saturated, or the pipeline may be
+shedding load because of faults (mempool exhaustion, link flaps, frame
+corruption, TX backpressure).  This module reads the degraded-path ledger
+(:class:`repro.click.driver.RunStats` or the mirrored perf-counter
+snapshot) and renders the distinction, the same way an operator would
+read ``rte_eth_stats``/xstats next to a perf profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.click.driver import RunStats
+
+HEALTHY = "healthy"
+FAULT_DEGRADED = "fault-degraded"
+
+#: Ledger entries that mark a run as degraded, with display labels.
+_DROP_FIELDS = (
+    ("rx_nombuf", "RX alloc failures (rx_nombuf)"),
+    ("imissed", "no-descriptor drops (imissed)"),
+    ("rx_errors", "damaged frames dropped (rx_errors)"),
+    ("tx_full", "TX backpressure refusals (tx_full)"),
+    ("element_errors", "element error-boundary incidents"),
+    ("watchdog_resets", "watchdog recoveries"),
+)
+
+
+def _ledger(source: Union[RunStats, Dict[str, int]]) -> Dict[str, int]:
+    """Normalize a RunStats or counter snapshot into the drop ledger."""
+    if isinstance(source, RunStats):
+        return {
+            "rx_nombuf": source.rx_nombuf,
+            "imissed": source.imissed,
+            "rx_errors": source.rx_errors,
+            "tx_full": source.tx_full,
+            "element_errors": source.error_batches,
+            "watchdog_resets": source.watchdog_resets,
+        }
+    return {name: int(source.get(name, 0)) for name, _ in _DROP_FIELDS}
+
+
+def classify(source: Union[RunStats, Dict[str, int]]) -> str:
+    """``"healthy"`` or ``"fault-degraded"`` for one run's ledger."""
+    ledger = _ledger(source)
+    return FAULT_DEGRADED if any(ledger.values()) else HEALTHY
+
+
+def drop_breakdown(source: Union[RunStats, Dict[str, int]]) -> Dict[str, int]:
+    """The nonzero entries of the drop ledger."""
+    return {name: count for name, count in _ledger(source).items() if count}
+
+
+def format_report(
+    stats: RunStats,
+    bound_by: Optional[str] = None,
+    label: str = "run",
+) -> str:
+    """Render one run's health report.
+
+    ``bound_by`` is the physical ceiling from
+    :class:`repro.perf.runner.ThroughputPoint` ("cpu", "link", ...); it is
+    reported only for healthy runs, where it is the true explanation of
+    the achieved rate.
+    """
+    verdict = classify(stats)
+    lines = ["%s: %s" % (label, verdict)]
+    if verdict == HEALTHY:
+        if bound_by:
+            lines.append("  bound by: %s" % bound_by)
+        lines.append("  rx=%d tx=%d drops=%d"
+                     % (stats.rx_packets, stats.tx_packets, stats.drops))
+        return "\n".join(lines)
+    ledger = _ledger(stats)
+    lines.append("  rx=%d tx=%d pipeline_drops=%d dropped_total=%d"
+                 % (stats.rx_packets, stats.tx_packets, stats.drops,
+                    stats.dropped_total))
+    for name, description in _DROP_FIELDS:
+        if ledger[name]:
+            lines.append("  %-38s %d" % (description + ":", ledger[name]))
+    if stats.errors_by_element:
+        for element, count in sorted(stats.errors_by_element.items()):
+            lines.append("    error boundary at %-20s %d" % (element + ":", count))
+    detail = stats.hw_counters
+    for extra in ("rx_truncated", "rx_corrupt", "link_down_polls",
+                  "cqe_stalls", "rx_underruns"):
+        if detail.get(extra):
+            lines.append("  %-38s %d" % (extra + ":", detail[extra]))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Shared builders for the fault-injection suite."""
+
+import pytest
+
+from repro.core.nfs import forwarder
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+
+
+def build_forwarder(faults=None, watchdog_threshold=16, options=None,
+                    params=None, config=None, trace=None):
+    """A vanilla forwarder build (Copying model => real mempool)."""
+    return PacketMill(
+        config or forwarder(),
+        options or BuildOptions.vanilla(),
+        params=params or MachineParams(),
+        trace=trace,
+        faults=faults,
+        watchdog_threshold=watchdog_threshold,
+    ).build()
+
+
+@pytest.fixture
+def forwarder_builder():
+    return build_forwarder

@@ -1,0 +1,121 @@
+"""The issue's acceptance scenario: storm, recover, replay, zero-cost off.
+
+The chaos schedule (mempool-exhaustion window + link flap + 1% frame
+corruption) must (1) complete without an exception with nonzero drop
+counters, (2) recover to within 1% of the fault-free baseline once every
+window closes, (3) replay bit-identically under the same seed, and
+(4) cost nothing when disabled: an *empty* schedule must produce exactly
+the numbers a build with no schedule at all produces.
+"""
+
+import pytest
+
+from repro.faults import (
+    CORRUPT,
+    LINK_FLAP,
+    MBUF_EXHAUSTION,
+    FaultSchedule,
+    FaultSpec,
+    assert_no_leak,
+    check_conservation,
+)
+from repro.perf.report import FAULT_DEGRADED, HEALTHY, classify, format_report
+
+from tests.faults.conftest import build_forwarder
+
+BATCHES = 300
+
+CHAOS = FaultSchedule(
+    [
+        FaultSpec(MBUF_EXHAUSTION, start=60, stop=120),
+        FaultSpec(LINK_FLAP, start=150, stop=170),
+        FaultSpec(CORRUPT, start=0, stop=220, probability=0.01),
+    ],
+    seed=2021,
+)
+
+
+@pytest.fixture(scope="module")
+def storm():
+    binary = build_forwarder(faults=CHAOS)
+    stats = binary.driver.run_batches(BATCHES)
+    return binary, stats
+
+
+class TestStormSurvival:
+    def test_completes_with_nonzero_fault_counters(self, storm):
+        _, stats = storm
+        assert stats.batches == BATCHES
+        assert stats.rx_nombuf > 0
+        assert stats.imissed > 0
+        assert stats.rx_errors > 0
+        assert stats.hw_counters["rx_corrupt"] == stats.rx_errors
+        assert stats.hw_counters["link_down_polls"] > 0
+
+    def test_report_says_fault_degraded(self, storm):
+        _, stats = storm
+        assert classify(stats) == FAULT_DEGRADED
+        report = format_report(stats, label="storm")
+        assert "fault-degraded" in report
+        assert "rx_nombuf" in report and "imissed" in report
+
+    def test_invariants_hold_after_the_storm(self, storm):
+        binary, _ = storm
+        assert check_conservation(binary.driver, binary.injector)["balance"] == 0
+        binary.driver.quiesce()
+        binary.injector.release_all()
+        assert_no_leak(binary.driver, binary.injector)
+
+
+class TestRecovery:
+    def test_throughput_recovers_within_one_percent(self):
+        baseline = build_forwarder().measure(batches=BATCHES)
+        chaotic = build_forwarder(faults=CHAOS)
+        chaotic.driver.run_batches(BATCHES)      # ride out every window
+        assert CHAOS.quiet_after() <= BATCHES
+        chaotic.reset_measurements()
+        recovered = chaotic.run(BATCHES)
+        assert not recovered.stats.fault_degraded
+        assert classify(recovered.stats) == HEALTHY
+        delta = abs(recovered.ns_per_packet - baseline.ns_per_packet)
+        assert delta / baseline.ns_per_packet <= 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_identical_counters(self, storm):
+        _, first = storm
+        replay = build_forwarder(faults=CHAOS)
+        second = replay.driver.run_batches(BATCHES)
+        for field in ("rx_packets", "tx_packets", "tx_bytes", "drops",
+                      "rx_nombuf", "imissed", "rx_errors", "tx_full",
+                      "watchdog_resets"):
+            assert getattr(second, field) == getattr(first, field), field
+        assert second.hw_counters == first.hw_counters
+
+    def test_different_seed_diverges(self, storm):
+        _, first = storm
+        reseeded = FaultSchedule(CHAOS.specs, seed=CHAOS.seed + 1)
+        second = build_forwarder(faults=reseeded).driver.run_batches(BATCHES)
+        assert second.hw_counters != first.hw_counters
+
+
+class TestZeroCostWhenDisabled:
+    def _numbers(self, run):
+        return (run.packets, run.tx_packets, run.tx_bytes, run.drops,
+                run.elapsed_ns, run.instructions, run.total_cycles)
+
+    def test_empty_schedule_is_bit_identical_to_no_schedule(self):
+        plain = build_forwarder().measure(batches=120)
+        empty = build_forwarder(faults=FaultSchedule.empty()).measure(batches=120)
+        assert self._numbers(empty) == self._numbers(plain)
+
+    def test_empty_schedule_wires_no_injector(self):
+        binary = build_forwarder(faults=FaultSchedule.empty())
+        assert binary.injector is None
+        assert binary.driver.injector is None
+
+    def test_healthy_run_ledger_is_all_zero(self):
+        stats = build_forwarder().driver.run_batches(50)
+        assert not stats.fault_degraded
+        assert classify(stats) == HEALTHY
+        assert stats.hw_counters == {k: 0 for k in stats.hw_counters}

@@ -1,0 +1,165 @@
+"""Driver-level resilience: error boundary, watchdog, finite-trace EOF."""
+
+from repro.click.element import Element, register
+from repro.faults import (
+    LINK_FLAP,
+    MBUF_EXHAUSTION,
+    FaultSchedule,
+    FaultSpec,
+    Watchdog,
+    assert_no_leak,
+    check_conservation,
+)
+from repro.net.trace import FiniteTrace, FixedSizeTraceGenerator, TraceSpec
+
+from tests.faults.conftest import build_forwarder
+
+
+@register
+class FaultyTestElement(Element):
+    """Raises on the Nth packet it sees (a buggy element under test)."""
+
+    class_name = "FaultyTestElement"
+
+    def configure(self, args, kwargs):
+        self.declare_param("explode_at", int(kwargs.get("EXPLODE_AT", 100)))
+        self.seen = 0
+
+    def process(self, pkt):
+        self.seen += 1
+        if self.seen == self.param("explode_at"):
+            raise RuntimeError("element bug: packet %d" % self.seen)
+        return 0
+
+
+@register
+class AlwaysFaultyElement(Element):
+    """Raises on every packet (a hopeless element under test)."""
+
+    class_name = "AlwaysFaultyElement"
+
+    def configure(self, args, kwargs):
+        pass
+
+    def process(self, pkt):
+        raise RuntimeError("element bug: every packet")
+
+
+FAULTY_CONFIG = """
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> buggy :: FaultyTestElement(EXPLODE_AT 40) -> EtherMirror -> output;
+"""
+
+
+class TestErrorBoundary:
+    def test_raising_element_quarantines_batch_not_run(self):
+        binary = build_forwarder(config=FAULTY_CONFIG)
+        stats = binary.driver.run_batches(10)
+        # The run survived all 10 iterations...
+        assert stats.batches == 10
+        assert stats.rx_packets == 320
+        # ...the incident was recorded against the buggy element...
+        assert stats.error_batches == 1
+        assert stats.errors_by_element == {"buggy": 1}
+        assert stats.fault_degraded
+        # ...and the whole batch in flight at the raise became counted
+        # drops: the unprocessed remainder plus the packets the element
+        # had already routed before blowing up at packet 40.
+        assert stats.drops_by_element["buggy"] == 32
+        assert stats.tx_packets == stats.rx_packets - stats.drops
+
+    def test_quarantined_buffers_go_back_to_the_pool(self):
+        binary = build_forwarder(config=FAULTY_CONFIG)
+        binary.driver.run_batches(10)
+        assert_no_leak(binary.driver)
+        assert check_conservation(binary.driver)["balance"] == 0
+
+    def test_every_batch_raising_still_terminates(self):
+        config = FAULTY_CONFIG.replace(
+            "FaultyTestElement(EXPLODE_AT 40)", "AlwaysFaultyElement")
+        binary = build_forwarder(config=config)
+        stats = binary.driver.run_batches(5)
+        assert stats.batches == 5
+        assert stats.error_batches == 5
+        assert stats.tx_packets == 0
+        assert stats.drops == stats.rx_packets
+        assert_no_leak(binary.driver)
+
+
+class TestWatchdogUnit:
+    def test_trips_after_threshold_stalls(self):
+        dog = Watchdog(threshold=3)
+        assert not dog.observe(False)
+        assert not dog.observe(False)
+        assert dog.observe(False)       # third stall: trip
+        assert dog.trips == 1
+        assert dog.stalled_iterations == 0  # count restarts after a trip
+
+    def test_progress_resets_the_count(self):
+        dog = Watchdog(threshold=3)
+        dog.observe(False)
+        dog.observe(False)
+        assert not dog.observe(True)
+        assert not dog.observe(False)
+        assert dog.trips == 0
+
+    def test_threshold_validated(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Watchdog(threshold=0)
+
+
+class TestWatchdogIntegration:
+    def test_watchdog_recovers_a_starved_pipeline(self):
+        # Full mempool exhaustion for a long window: the RX ring drains,
+        # progress hits zero, and the watchdog must keep resetting until
+        # the window closes and the pipeline refills.
+        schedule = FaultSchedule(
+            [FaultSpec(MBUF_EXHAUSTION, start=10, stop=120)], seed=1)
+        binary = build_forwarder(faults=schedule, watchdog_threshold=8)
+        stats = binary.driver.run_batches(200)
+        assert stats.batches == 200          # the run never wedged for good
+        assert stats.watchdog_resets > 0
+        # After the window closes the pipeline moves packets again.
+        post = binary.driver.step()
+        assert post > 0
+        assert_no_leak(binary.driver, binary.injector)
+
+    def test_no_resets_on_a_healthy_run(self):
+        binary = build_forwarder(watchdog_threshold=4)
+        stats = binary.driver.run_batches(50)
+        assert stats.watchdog_resets == 0
+
+    def test_link_flap_stall_trips_watchdog(self):
+        schedule = FaultSchedule([FaultSpec(LINK_FLAP, start=0, stop=40)], seed=2)
+        binary = build_forwarder(faults=schedule, watchdog_threshold=8)
+        stats = binary.driver.run_batches(40)
+        assert stats.rx_packets == 0
+        assert stats.watchdog_resets >= 4    # 40 stalled iterations / 8
+
+
+class TestFiniteTraceRuns:
+    def _finite_builder(self, limit):
+        return lambda port, core: FiniteTrace(
+            FixedSizeTraceGenerator(128, TraceSpec(pool_size=64)), limit)
+
+    def test_run_ends_cleanly_at_trace_eof(self):
+        binary = build_forwarder(trace=self._finite_builder(100))
+        stats = binary.driver.run_batches(1000)
+        assert stats.rx_packets == 100
+        assert stats.tx_packets == 100       # quiesce flushed the TX ring
+        assert stats.batches < 1000          # ended early, not by count
+        assert binary.driver.at_eof()
+
+    def test_eof_run_conserves_buffers_and_packets(self):
+        binary = build_forwarder(trace=self._finite_builder(75))
+        binary.driver.run_batches(1000)
+        assert_no_leak(binary.driver)
+        assert check_conservation(binary.driver)["balance"] == 0
+
+    def test_stats_survive_extra_run_calls(self):
+        binary = build_forwarder(trace=self._finite_builder(50))
+        first = binary.driver.run_batches(100).tx_packets
+        again = binary.driver.run_batches(100)
+        assert again.tx_packets == first     # no phantom traffic after EOF

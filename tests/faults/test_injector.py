@@ -1,0 +1,186 @@
+"""Tests for the deterministic fault injector."""
+
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.nic import NicCounters
+from repro.faults import (
+    CORRUPT,
+    CQE_STALL,
+    LINK_FLAP,
+    MBUF_EXHAUSTION,
+    RATE_DIP,
+    RX_UNDERRUN,
+    TRUNCATE,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.hw.layout import AddressSpace
+from repro.net.checksum import verify_checksum
+from repro.net.protocols import Ipv4Header
+from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
+
+
+class FakeNic:
+    """Just enough NIC surface for rx_budget: a port and counters."""
+
+    def __init__(self, port=0):
+        self.port = port
+        self.counters = NicCounters()
+
+
+def make_injector(specs, seed=0):
+    return FaultInjector(FaultSchedule(specs, seed=seed))
+
+
+def advance(injector, tick):
+    while injector.tick < tick:
+        injector.begin_iteration()
+
+
+class TestMempoolPressure:
+    def test_hostages_taken_and_released(self):
+        pool = Mempool(AddressSpace(seed=0), n=16)
+        injector = make_injector([FaultSpec(MBUF_EXHAUSTION, start=1, stop=3)])
+        injector.bind_mempool(pool)
+        injector.begin_iteration()  # tick 0: window not open
+        assert injector.in_flight == 0
+        injector.begin_iteration()  # tick 1: full pool held hostage
+        assert injector.in_flight == 16
+        assert pool.available == 0
+        advance(injector, 3)        # window closed: all returned
+        assert injector.in_flight == 0
+        assert pool.available == 16
+
+    def test_partial_magnitude(self):
+        pool = Mempool(AddressSpace(seed=0), n=16)
+        injector = make_injector(
+            [FaultSpec(MBUF_EXHAUSTION, start=0, stop=2, magnitude=0.5)])
+        injector.bind_mempool(pool)
+        injector.begin_iteration()
+        assert injector.in_flight == 8
+        assert pool.available == 8
+
+    def test_takes_at_most_whats_free(self):
+        pool = Mempool(AddressSpace(seed=0), n=8)
+        held = [pool.get() for _ in range(6)]
+        injector = make_injector([FaultSpec(MBUF_EXHAUSTION, start=0, stop=2)])
+        injector.bind_mempool(pool)
+        injector.begin_iteration()
+        assert injector.in_flight == 2  # only the free buffers
+        for ref in held:
+            pool.put(ref)
+
+    def test_release_all_is_idempotent(self):
+        pool = Mempool(AddressSpace(seed=0), n=4)
+        injector = make_injector([FaultSpec(MBUF_EXHAUSTION, start=0, stop=9)])
+        injector.bind_mempool(pool)
+        injector.begin_iteration()
+        injector.release_all()
+        injector.release_all()
+        assert pool.available == 4
+        assert pool.gets == pool.puts
+
+    def test_no_pool_bound_is_a_noop(self):
+        injector = make_injector([FaultSpec(MBUF_EXHAUSTION)])
+        injector.begin_iteration()
+        assert injector.in_flight == 0
+
+
+class TestRxBudget:
+    def test_link_flap_zeroes_budget_and_counts(self):
+        nic = FakeNic()
+        injector = make_injector([FaultSpec(LINK_FLAP, start=0, stop=2)])
+        injector.begin_iteration()
+        assert injector.rx_budget(nic, 32) == 0
+        assert nic.counters.link_down_polls == 1
+        advance(injector, 2)
+        assert injector.rx_budget(nic, 32) == 32
+
+    def test_cqe_stall_zeroes_budget(self):
+        nic = FakeNic()
+        injector = make_injector([FaultSpec(CQE_STALL, start=0, stop=1)])
+        injector.begin_iteration()
+        assert injector.rx_budget(nic, 32) == 0
+        assert nic.counters.cqe_stalls == 1
+
+    def test_underrun_is_probabilistic(self):
+        nic = FakeNic()
+        injector = make_injector(
+            [FaultSpec(RX_UNDERRUN, probability=0.5)], seed=11)
+        injector.begin_iteration()
+        budgets = [injector.rx_budget(nic, 32) for _ in range(200)]
+        assert budgets.count(0) == nic.counters.rx_underruns
+        assert 0 < budgets.count(0) < 200  # some polls empty, not all
+
+    def test_rate_dip_scales_budget(self):
+        nic = FakeNic()
+        injector = make_injector([FaultSpec(RATE_DIP, magnitude=0.25)])
+        injector.begin_iteration()
+        assert injector.rx_budget(nic, 32) == 8
+
+    def test_port_scoping(self):
+        injector = make_injector([FaultSpec(LINK_FLAP, port=1)])
+        injector.begin_iteration()
+        assert injector.rx_budget(FakeNic(port=0), 32) == 32
+        assert injector.rx_budget(FakeNic(port=1), 32) == 0
+
+
+class TestFrameDamage:
+    def _packet(self, frame=256):
+        return FixedSizeTraceGenerator(frame, TraceSpec(pool_size=4)).next_packet()
+
+    def _ip_header_bytes(self, pkt):
+        return bytes(pkt.data()[14:14 + Ipv4Header.LENGTH])
+
+    def test_corruption_really_breaks_the_checksum(self):
+        pkt = self._packet()
+        assert verify_checksum(self._ip_header_bytes(pkt))
+        injector = make_injector([FaultSpec(CORRUPT, probability=1.0)])
+        injector.begin_iteration()
+        assert injector.mutate_frame(pkt, port=0) == "corrupt"
+        assert pkt.rx_error == "corrupt"
+        assert not verify_checksum(self._ip_header_bytes(pkt))
+
+    def test_truncation_shortens_the_frame(self):
+        pkt = self._packet(frame=512)
+        injector = make_injector(
+            [FaultSpec(TRUNCATE, probability=1.0, magnitude=0.25)])
+        injector.begin_iteration()
+        assert injector.mutate_frame(pkt, port=0) == "truncated"
+        assert len(pkt) == 128
+        assert pkt.rx_error == "truncated"
+
+    def test_untouched_frame_has_no_verdict(self):
+        pkt = self._packet()
+        injector = make_injector([FaultSpec(CORRUPT, start=50, stop=60)])
+        injector.begin_iteration()  # tick 0: window closed
+        assert injector.mutate_frame(pkt, port=0) is None
+        assert pkt.rx_error is None
+
+
+class TestDeterminism:
+    def _chaos_trace(self, seed):
+        injector = make_injector(
+            [
+                FaultSpec(RX_UNDERRUN, probability=0.3),
+                FaultSpec(CORRUPT, probability=0.1),
+            ],
+            seed=seed,
+        )
+        nic = FakeNic()
+        trace = FixedSizeTraceGenerator(128, TraceSpec(pool_size=8))
+        outcomes = []
+        for _ in range(100):
+            injector.begin_iteration()
+            budget = injector.rx_budget(nic, 32)
+            verdict = injector.mutate_frame(trace.next_packet(), 0)
+            outcomes.append((budget, verdict))
+        return outcomes, dict(injector.events)
+
+    def test_same_seed_same_fault_sequence(self):
+        first = self._chaos_trace(seed=42)
+        second = self._chaos_trace(seed=42)
+        assert first == second
+
+    def test_different_seed_different_sequence(self):
+        assert self._chaos_trace(seed=1) != self._chaos_trace(seed=2)

@@ -1,0 +1,110 @@
+"""Mempool edge cases: exhaustion, double-free, and the leak invariant."""
+
+import pytest
+
+from repro.dpdk.mbuf import BufferRef
+from repro.dpdk.mempool import Mempool, MempoolEmptyError
+from repro.faults import (
+    MBUF_EXHAUSTION,
+    TX_BACKPRESSURE,
+    FaultSpec,
+    FaultSchedule,
+    MempoolLeakError,
+    assert_no_leak,
+    mempool_audit,
+)
+from repro.hw.layout import AddressSpace
+
+from tests.faults.conftest import build_forwarder
+
+
+class TestMempoolEdgeCases:
+    def _pool(self, n=8):
+        return Mempool(AddressSpace(seed=0), n=n)
+
+    def test_exhaustion_raises_typed_error(self):
+        pool = self._pool(n=1)
+        pool.get()
+        with pytest.raises(MempoolEmptyError):
+            pool.get()
+
+    def test_exhausted_pool_recovers_after_put(self):
+        pool = self._pool(n=1)
+        ref = pool.get()
+        with pytest.raises(MempoolEmptyError):
+            pool.get()
+        pool.put(ref)
+        assert pool.get().index == ref.index
+
+    def test_double_free_raises(self):
+        pool = self._pool(n=2)
+        ref = pool.get()
+        pool.put(ref)
+        with pytest.raises(RuntimeError):
+            pool.put(ref)
+
+    def test_foreign_ref_rejected(self):
+        pool = self._pool(n=2)
+        with pytest.raises(IndexError):
+            pool.put(BufferRef(index=99, mbuf_addr=0, data_addr=0))
+
+    def test_in_flight_tracks_outstanding_buffers(self):
+        pool = self._pool(n=8)
+        assert pool.in_flight == 0
+        refs = [pool.get() for _ in range(3)]
+        assert pool.in_flight == 3
+        for ref in refs:
+            pool.put(ref)
+        assert pool.in_flight == 0
+
+
+class TestLeakInvariant:
+    def test_clean_run_has_no_leak(self):
+        binary = build_forwarder()
+        binary.driver.run_batches(50)
+        audit = assert_no_leak(binary.driver)
+        assert audit["leak"] == 0
+        assert audit["posted_rx"] > 0  # ring stays stocked
+
+    def test_faulted_run_has_no_leak(self):
+        schedule = FaultSchedule([
+            FaultSpec(MBUF_EXHAUSTION, start=10, stop=30),
+            FaultSpec(TX_BACKPRESSURE, start=35, stop=45, probability=0.5),
+        ], seed=5)
+        binary = build_forwarder(faults=schedule)
+        binary.driver.run_batches(60)
+        audit = assert_no_leak(binary.driver, binary.injector)
+        assert audit["hostages"] == 0  # windows closed: all returned
+        assert audit["leak"] == 0
+
+    def test_hostages_show_up_in_the_audit(self):
+        schedule = FaultSchedule(
+            [FaultSpec(MBUF_EXHAUSTION, start=0, stop=10**6, magnitude=0.25)],
+            seed=5)
+        binary = build_forwarder(faults=schedule)
+        binary.driver.run_batches(5)
+        audit = assert_no_leak(binary.driver, binary.injector)
+        assert audit["hostages"] > 0
+        assert audit["leak"] == 0
+        # The same state *without* crediting the injector is a "leak":
+        with pytest.raises(MempoolLeakError):
+            assert_no_leak(binary.driver)
+        binary.injector.release_all()
+        assert_no_leak(binary.driver)
+
+    def test_genuine_leak_is_caught(self):
+        binary = build_forwarder()
+        binary.driver.run_batches(5)
+        stolen = binary.driver._model.mempool.get()  # never returned
+        with pytest.raises(MempoolLeakError, match="1 buffer"):
+            assert_no_leak(binary.driver)
+        binary.driver._model.mempool.put(stolen)
+
+    def test_audit_breakdown_balances(self):
+        binary = build_forwarder()
+        binary.driver.run_batches(20)
+        audit = mempool_audit(binary.driver)
+        assert audit["outstanding"] == (
+            audit["posted_rx"] + audit["unreaped_tx"]
+            + audit["queued"] + audit["hostages"]
+        )

@@ -1,0 +1,106 @@
+"""Tests for the NIC's degraded RX path (budget, imissed, finite traces)."""
+
+from repro.dpdk.metadata import OverlayingModel
+from repro.dpdk.nic import Nic
+from repro.faults import (
+    CORRUPT,
+    LINK_FLAP,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.hw.layout import AddressSpace
+from repro.hw.memory import MemorySystem
+from repro.hw.params import MachineParams
+from repro.net.trace import FiniteTrace, FixedSizeTraceGenerator, TraceSpec
+
+
+def make_nic(frame=256, ring=64, trace=None, port=0):
+    params = MachineParams(rx_ring_size=ring, tx_ring_size=ring)
+    mem = MemorySystem(params)
+    space = AddressSpace(seed=0)
+    trace = trace or FixedSizeTraceGenerator(frame, TraceSpec(pool_size=32))
+    nic = Nic(params, mem, space, trace, port=port)
+    model = OverlayingModel()
+    model.setup(space, params)
+    return nic, model
+
+
+def attach(nic, specs, seed=0):
+    injector = FaultInjector(FaultSchedule(specs, seed=seed))
+    injector.begin_iteration()
+    nic.faults = injector
+    return injector
+
+
+class TestInjectedDelivery:
+    def test_flap_withholds_frames_without_consuming_trace(self):
+        nic, model = make_nic()
+        for _ in range(8):
+            nic.post_rx(model.rx_buffer(None))
+        attach(nic, [FaultSpec(LINK_FLAP, start=0, stop=1)])
+        assert nic.deliver(8) == []
+        assert nic.rx_posted == 8          # buffers stay posted
+        assert nic.rx_delivered == 0
+        assert nic.counters.link_down_polls == 1
+
+    def test_corruption_flags_frames_in_place(self):
+        nic, model = make_nic()
+        for _ in range(4):
+            nic.post_rx(model.rx_buffer(None))
+        attach(nic, [FaultSpec(CORRUPT, probability=1.0)])
+        out = nic.deliver(4)
+        assert len(out) == 4
+        assert all(pkt.rx_error == "corrupt" for _, pkt in out)
+
+    def test_imissed_counts_arrivals_with_no_descriptor(self):
+        nic, model = make_nic()
+        for _ in range(3):
+            nic.post_rx(model.rx_buffer(None))
+        attach(nic, [])  # injector attached = saturated source semantics
+        out = nic.deliver(8)
+        assert len(out) == 3
+        assert nic.counters.imissed == 5  # 8 arrivals, 3 descriptors
+
+    def test_no_injector_no_imissed(self):
+        nic, model = make_nic()
+        nic.post_rx(model.rx_buffer(None))
+        assert len(nic.deliver(8)) == 1
+        assert nic.counters.imissed == 0
+
+    def test_port_stamped_on_delivered_packets(self):
+        nic, model = make_nic(port=3)
+        nic.post_rx(model.rx_buffer(None))
+        (_, pkt), = nic.deliver(1)
+        assert pkt.port == 3
+
+
+class TestFiniteTrace:
+    def _finite_nic(self, limit):
+        inner = FixedSizeTraceGenerator(256, TraceSpec(pool_size=32))
+        return make_nic(trace=FiniteTrace(inner, limit))
+
+    def test_trace_exhaustion_ends_delivery_cleanly(self):
+        nic, model = self._finite_nic(limit=5)
+        for _ in range(8):
+            nic.post_rx(model.rx_buffer(None))
+        out = nic.deliver(8)
+        assert len(out) == 5
+        assert nic.trace_exhausted
+        assert nic.rx_posted == 3  # the unfilled buffer was re-posted
+
+    def test_exhausted_nic_keeps_delivering_nothing(self):
+        nic, model = self._finite_nic(limit=0)
+        nic.post_rx(model.rx_buffer(None))
+        assert nic.deliver(4) == []
+        assert nic.deliver(4) == []
+        assert nic.trace_exhausted
+        assert nic.rx_posted == 1
+
+    def test_finite_trace_counts_remaining(self):
+        inner = FixedSizeTraceGenerator(64, TraceSpec(pool_size=8))
+        trace = FiniteTrace(inner, 3)
+        assert trace.remaining == 3
+        trace.next_packet()
+        assert trace.remaining == 2
+        assert trace.mean_frame_length() == inner.mean_frame_length()

@@ -1,0 +1,89 @@
+"""Property tests: random seeded schedules never break the run's invariants.
+
+For any schedule drawn from the full fault taxonomy with arbitrary
+windows, probabilities, and magnitudes:
+
+- ``driver.run_batches`` never lets an exception escape;
+- packet conservation holds: every delivered frame is forwarded, counted
+  as a drop, counted as an RX error, or still in flight;
+- the mempool ledger balances once hostages are credited.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import ALL_KINDS, FaultSchedule, FaultSpec, assert_no_leak, check_conservation
+from repro.hw.params import MachineParams
+
+from tests.faults.conftest import build_forwarder
+
+RUN_BATCHES = 40
+
+windows = st.one_of(
+    st.just((None, None)),
+    st.tuples(st.integers(0, RUN_BATCHES), st.integers(1, RUN_BATCHES + 10)).map(
+        lambda w: (w[0], w[0] + w[1])
+    ),
+)
+
+
+@st.composite
+def fault_specs(draw):
+    start, stop = draw(windows)
+    return FaultSpec(
+        kind=draw(st.sampled_from(ALL_KINDS)),
+        start=start,
+        stop=stop,
+        probability=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        magnitude=draw(st.one_of(st.none(), st.floats(0.0, 1.0, allow_nan=False))),
+    )
+
+
+schedules = st.builds(
+    FaultSchedule,
+    st.lists(fault_specs(), min_size=1, max_size=4),
+    seed=st.integers(0, 2**32 - 1),
+)
+
+
+def small_params():
+    return MachineParams(rx_ring_size=64, tx_ring_size=64)
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=schedules)
+def test_random_schedules_never_raise_and_conserve_packets(schedule):
+    binary = build_forwarder(faults=schedule, watchdog_threshold=8,
+                             params=small_params())
+    stats = binary.driver.run_batches(RUN_BATCHES)
+    assert stats.batches == RUN_BATCHES
+    ledger = check_conservation(binary.driver, binary.injector)
+    assert ledger["balance"] == 0
+    assert ledger["rx_delivered"] == (
+        stats.tx_packets + stats.drops + stats.rx_errors + ledger["in_flight"]
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(schedule=schedules)
+def test_random_schedules_leave_no_leak(schedule):
+    binary = build_forwarder(faults=schedule, watchdog_threshold=8,
+                             params=small_params())
+    binary.driver.run_batches(RUN_BATCHES)
+    binary.driver.quiesce()
+    audit = assert_no_leak(binary.driver, binary.injector)
+    assert audit["leak"] == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(schedule=schedules, batches=st.integers(1, 60))
+def test_random_schedules_are_deterministic(schedule, batches):
+    def run():
+        binary = build_forwarder(faults=schedule, watchdog_threshold=8,
+                                 params=small_params())
+        stats = binary.driver.run_batches(batches)
+        return (stats.rx_packets, stats.tx_packets, stats.drops,
+                stats.rx_nombuf, stats.imissed, stats.rx_errors,
+                stats.tx_full, stats.watchdog_resets, stats.hw_counters)
+
+    assert run() == run()

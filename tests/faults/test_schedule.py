@@ -1,0 +1,118 @@
+"""Tests for the declarative fault schedule."""
+
+import pytest
+
+from repro.faults import (
+    ALL_KINDS,
+    CORRUPT,
+    LINK_FLAP,
+    MBUF_EXHAUSTION,
+    RATE_DIP,
+    TRUNCATE,
+    FaultSchedule,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_window_is_half_open(self):
+        spec = FaultSpec(LINK_FLAP, start=10, stop=20)
+        assert not spec.active_at(9)
+        assert spec.active_at(10)
+        assert spec.active_at(19)
+        assert not spec.active_at(20)
+
+    def test_unbounded_sides(self):
+        assert FaultSpec(LINK_FLAP).active_at(0)
+        assert FaultSpec(LINK_FLAP).active_at(10**9)
+        assert FaultSpec(LINK_FLAP, start=5).active_at(10**9)
+        assert not FaultSpec(LINK_FLAP, start=5).active_at(4)
+        assert FaultSpec(LINK_FLAP, stop=5).active_at(0)
+        assert not FaultSpec(LINK_FLAP, stop=5).active_at(5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("bit_rot")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(CORRUPT, probability=1.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty fault window"):
+            FaultSpec(LINK_FLAP, start=10, stop=10)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            FaultSpec(LINK_FLAP, start=-1)
+
+    def test_bad_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec(RATE_DIP, magnitude=2.0)
+
+    def test_default_magnitudes(self):
+        assert FaultSpec(MBUF_EXHAUSTION).effective_magnitude == 1.0
+        assert FaultSpec(RATE_DIP).effective_magnitude == 0.25
+        assert FaultSpec(TRUNCATE).effective_magnitude == 0.5
+        assert FaultSpec(RATE_DIP, magnitude=0.9).effective_magnitude == 0.9
+
+    def test_port_filter(self):
+        spec = FaultSpec(LINK_FLAP, port=1)
+        assert spec.applies_to_port(1)
+        assert not spec.applies_to_port(0)
+        assert FaultSpec(LINK_FLAP).applies_to_port(7)  # None = all ports
+
+
+class TestFaultSchedule:
+    def test_empty(self):
+        schedule = FaultSchedule.empty(seed=3)
+        assert schedule.is_empty
+        assert len(schedule) == 0
+        assert schedule.seed == 3
+        assert not schedule.any_active(0)
+        assert schedule.quiet_after() == 0
+
+    def test_active_filters_kind_tick_and_port(self):
+        schedule = FaultSchedule([
+            FaultSpec(LINK_FLAP, start=10, stop=20, port=0),
+            FaultSpec(LINK_FLAP, start=10, stop=20, port=1),
+            FaultSpec(CORRUPT, start=0, stop=30),
+        ])
+        assert len(schedule.active(LINK_FLAP, 15)) == 2
+        assert len(schedule.active(LINK_FLAP, 15, port=1)) == 1
+        assert schedule.active(LINK_FLAP, 25) == []
+        assert len(schedule.active(CORRUPT, 25)) == 1
+
+    def test_from_dicts_round_trip(self):
+        schedule = FaultSchedule.from_dicts(
+            [
+                {"kind": "link_flap", "start": 100, "stop": 120},
+                {"kind": "corrupt", "probability": 0.01},
+            ],
+            seed=7,
+        )
+        assert len(schedule) == 2
+        assert schedule.seed == 7
+        assert schedule.specs[0].kind == LINK_FLAP
+        assert schedule.specs[1].probability == 0.01
+
+    def test_from_dicts_validates(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dicts([{"kind": "nope"}])
+
+    def test_quiet_after_is_max_stop(self):
+        schedule = FaultSchedule([
+            FaultSpec(LINK_FLAP, start=10, stop=20),
+            FaultSpec(CORRUPT, start=0, stop=35),
+        ])
+        assert schedule.quiet_after() == 35
+        assert not schedule.any_active(35)
+        assert schedule.any_active(34)
+
+    def test_quiet_after_none_when_unbounded(self):
+        assert FaultSchedule([FaultSpec(CORRUPT)]).quiet_after() is None
+        assert FaultSchedule([FaultSpec(CORRUPT, start=5)]).quiet_after() is None
+
+    def test_iterates_in_declaration_order(self):
+        specs = [FaultSpec(kind, start=0, stop=1) for kind in ALL_KINDS]
+        assert [s.kind for s in FaultSchedule(specs)] == list(ALL_KINDS)
