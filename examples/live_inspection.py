@@ -16,7 +16,8 @@ from repro.perf.ascii import bar_chart, line_chart
 from repro.perf.runner import measure_throughput
 
 params = MachineParams(freq_ghz=2.3)
-binary = PacketMill(ids_router(), BuildOptions.packetmill(), params=params).build()
+binary = PacketMill(ids_router(), BuildOptions.packetmill(), params=params,
+                    telemetry=True).build()
 binary.driver.run_batches(200)
 
 broker = HandlerBroker(binary.graph)
@@ -27,6 +28,18 @@ tcp_check = binary.graph.by_class("CheckTCPHeader")[0].name
 for path in ("%s.count" % checker, "%s.bad" % checker,
              "%s.count" % tcp_check, "%s.count" % vlan, "rt.nroutes"):
     print("  %-28s = %s" % (path, broker.read(path)))
+
+# Glob reads hit every matching handler in one call -- the quickest way
+# to survey a live pipeline.
+print("\nEvery counter in one glob read (broker.read('*.count')):\n")
+print("\n".join("  " + line for line in broker.read("*.count").splitlines()))
+
+# Every element now answers .xstats uniformly: its telemetry-registry
+# slice (drops, errors, attributed cycles) -- and, on I/O elements, the
+# bound port's rte_eth_stats.
+rx = binary.graph.by_class("FromDPDKDevice")[0].name
+print("\nUniform xstats handler (%s.xstats):\n" % rx)
+print("\n".join("  " + line for line in broker.read("%s.xstats" % rx).splitlines()))
 
 print("\nFull handler dump:\n")
 print("\n".join("  " + line for line in broker.dump().splitlines()[:16]))

@@ -1,0 +1,59 @@
+"""Tour of repro.telemetry: attribution, flamegraph, windows, exports.
+
+Builds the router with every recorder enabled, runs it under load, and
+renders what the paper's methodology measures with perf: where the
+cycles went (per element), what the packet lifecycle looks like (span
+flamegraph), and the 100-ms-window counter series.  Finishes by writing
+the flamegraph's folded-stacks export next to this script.
+
+Run:  python examples/telemetry_tour.py [out.folded]
+"""
+
+import sys
+
+from repro.core.nfs import router
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.perf.report import format_telemetry_report
+from repro.telemetry import TelemetryConfig
+
+# A short window so even a quick simulated run closes several of them.
+config = TelemetryConfig(window_ns=50_000.0)
+binary = PacketMill(
+    router(),
+    BuildOptions.packetmill(),
+    params=MachineParams(freq_ghz=2.3),
+    telemetry=config,
+).build()
+run = binary.measure(batches=300, warmup_batches=100)
+telemetry = run.telemetry
+
+print("Measured: %.2f Gbps, %.2f cycles/packet, IPC %.2f\n"
+      % (run.tx_bytes * 8 / run.elapsed_ns, run.cycles_per_packet, run.ipc))
+
+# -- where did the cycles go? (perf report view) ---------------------------
+print(telemetry.top("cycles"))
+print()
+print(telemetry.top("llc_loads"))
+print()
+
+# -- the packet lifecycle as a flamegraph ----------------------------------
+print(telemetry.flamegraph())
+print()
+
+# -- perf stat -I style windows --------------------------------------------
+print(telemetry.windows_table(
+    ["driver.rx_packets", "cpu.llc_loads", "cpu.llc_misses"]))
+print()
+
+# -- the same data, through the perf.report entry point --------------------
+assert "attribution by cycles" in format_telemetry_report(telemetry)
+
+# -- exports ---------------------------------------------------------------
+out_path = sys.argv[1] if len(sys.argv) > 1 else "telemetry_tour.folded"
+with open(out_path, "w") as handle:
+    handle.write(telemetry.spans.to_folded_text() + "\n")
+print("wrote folded stacks to %s (flamegraph.pl/speedscope format)" % out_path)
+print("JSON export: %d bytes; CSV export: %d rows"
+      % (len(telemetry.to_json()), len(telemetry.to_csv().splitlines()) - 1))

@@ -2,6 +2,8 @@
 
 The package is organized in layers, bottom-up:
 
+- :mod:`repro.telemetry` -- counter registry, windowed sampling, cycle
+  attribution, trace spans (the one source of truth for every statistic).
 - :mod:`repro.net` -- packets, protocol headers, traffic traces.
 - :mod:`repro.hw` -- cycle-level hardware model (caches, DDIO, TLB, CPU).
 - :mod:`repro.dpdk` -- userspace NIC substrate (mbufs, mempools, PMD, PCIe).
@@ -25,6 +27,9 @@ __all__ = [
     "MetadataModel",
     "FaultSchedule",
     "FaultSpec",
+    "CounterRegistry",
+    "Telemetry",
+    "TelemetryConfig",
     "__version__",
 ]
 
@@ -34,6 +39,9 @@ _LAZY = {
     "MetadataModel": ("repro.core.options", "MetadataModel"),
     "FaultSchedule": ("repro.faults.schedule", "FaultSchedule"),
     "FaultSpec": ("repro.faults.schedule", "FaultSpec"),
+    "CounterRegistry": ("repro.telemetry.registry", "CounterRegistry"),
+    "Telemetry": ("repro.telemetry", "Telemetry"),
+    "TelemetryConfig": ("repro.telemetry", "TelemetryConfig"),
 }
 
 

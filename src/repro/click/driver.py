@@ -16,7 +16,7 @@ Costs are charged from three sources per element visit:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.click.element import Element
@@ -24,6 +24,9 @@ from repro.click.graph import ProcessingGraph
 from repro.compiler.lower import ExecProgram
 from repro.compiler.runtime import Bindings, execute
 from repro.dpdk.mempool import MempoolEmptyError
+from repro.telemetry import Telemetry
+from repro.telemetry.attribution import DRIVER_BUCKET
+from repro.telemetry.registry import CounterRegistry
 
 DISPATCH_VIRTUAL = "virtual"
 DISPATCH_DIRECT = "direct"
@@ -64,7 +67,16 @@ class DispatchPolicy:
             cpu.charge_compute(4)
 
 
-@dataclass
+#: Every run-level scalar, in the old dataclass field order.
+RUN_SCALARS = (
+    "batches", "rx_packets", "tx_packets", "tx_bytes", "drops",
+    # -- hardware drop counters (delta since the last stats reset) ---------
+    "rx_nombuf", "imissed", "rx_errors", "tx_full",
+    # -- software degradation counters -------------------------------------
+    "error_batches", "watchdog_resets", "clone_alloc_failures",
+)
+
+
 class RunStats:
     """Functional outcome of one measurement run.
 
@@ -73,37 +85,123 @@ class RunStats:
     ``imissed``, ``rx_errors``, ``tx_full``), element error-boundary
     incidents, and watchdog recoveries.  All of these stay zero on a
     fault-free run.
+
+    A view over a :class:`repro.telemetry.registry.CounterRegistry`:
+    scalars live under ``driver.*`` and the per-element breakdowns under
+    ``element.<name>.drops`` / ``element.<name>.errors``, so handler
+    globs, window samples, and exports read the same cells this object
+    does.  Attribute access is unchanged, including keyword construction
+    (``RunStats(rx_packets=100, tx_packets=100)``); constructed bare, it
+    owns a private registry and behaves exactly like the old dataclass.
     """
 
-    batches: int = 0
-    rx_packets: int = 0
-    tx_packets: int = 0
-    tx_bytes: int = 0
-    drops: int = 0
-    drops_by_element: Dict[str, int] = field(default_factory=dict)
-    # -- hardware drop counters (delta since the last stats reset) ---------
-    rx_nombuf: int = 0
-    imissed: int = 0
-    rx_errors: int = 0
-    tx_full: int = 0
-    hw_counters: Dict[str, int] = field(default_factory=dict)
-    # -- software degradation counters -------------------------------------
-    error_batches: int = 0
-    errors_by_element: Dict[str, int] = field(default_factory=dict)
-    watchdog_resets: int = 0
-    clone_alloc_failures: int = 0
+    __slots__ = ("registry", "_h", "_element_drops", "_element_errors",
+                 "_hw_names")
+
+    def __init__(self, registry: Optional[CounterRegistry] = None, **initial):
+        self._bind(registry if registry is not None else CounterRegistry())
+        for name, value in initial.items():
+            setattr(self, name, value)
+
+    def _bind(self, registry: CounterRegistry) -> None:
+        self.registry = registry
+        self._h = {
+            name: registry.counter("driver." + name) for name in RUN_SCALARS
+        }
+        self._element_drops: Dict[str, object] = {}
+        self._element_errors: Dict[str, object] = {}
+        self._hw_names: List[str] = []
+
+    def freeze(self) -> None:
+        """Detach from shared storage, keeping the current values.
+
+        Called by :meth:`RouterDriver.reset_stats` before the shared
+        counters are zeroed for the next run, so references to this
+        object keep reading the finished run's numbers -- the same
+        semantics the old replace-the-dataclass reset had.
+        """
+        scalars = {name: self._h[name].value for name in RUN_SCALARS}
+        drops = dict(self.drops_by_element)
+        errors = dict(self.errors_by_element)
+        hw = dict(self.hw_counters)
+        self._bind(CounterRegistry())
+        for name, value in scalars.items():
+            self._h[name].value = value
+        self.drops_by_element = drops
+        self.errors_by_element = errors
+        self.hw_counters = hw
+
+    # -- recording -------------------------------------------------------------
+
+    def _element_counter(self, cache, element_name: str, leaf: str):
+        handle = cache.get(element_name)
+        if handle is None:
+            handle = cache[element_name] = self.registry.counter(
+                "element.%s.%s" % (element_name, leaf)
+            )
+        return handle
 
     def record_drop(self, element_name: str, count: int = 1) -> None:
-        self.drops += count
-        self.drops_by_element[element_name] = (
-            self.drops_by_element.get(element_name, 0) + count
-        )
+        self._h["drops"].value += count
+        self._element_counter(
+            self._element_drops, element_name, "drops"
+        ).value += count
 
     def record_element_error(self, element_name: str) -> None:
-        self.error_batches += 1
-        self.errors_by_element[element_name] = (
-            self.errors_by_element.get(element_name, 0) + 1
-        )
+        self._h["error_batches"].value += 1
+        self._element_counter(
+            self._element_errors, element_name, "errors"
+        ).value += 1
+
+    # -- per-element / hardware breakdowns --------------------------------------
+
+    def _breakdown(self, leaf: str) -> Dict[str, int]:
+        suffix = "." + leaf
+        out = {}
+        for name, value in self.registry.match("element.*" + suffix).items():
+            if value:
+                out[name[len("element."):-len(suffix)]] = value
+        return out
+
+    def _set_breakdown(self, leaf: str, cache, values: Dict[str, int]) -> None:
+        for handle in cache.values():
+            handle.value = 0
+        for element_name, value in values.items():
+            self._element_counter(cache, element_name, leaf).value = value
+
+    @property
+    def drops_by_element(self) -> Dict[str, int]:
+        return self._breakdown("drops")
+
+    @drops_by_element.setter
+    def drops_by_element(self, values: Dict[str, int]) -> None:
+        self._set_breakdown("drops", self._element_drops, values)
+
+    @property
+    def errors_by_element(self) -> Dict[str, int]:
+        return self._breakdown("errors")
+
+    @errors_by_element.setter
+    def errors_by_element(self, values: Dict[str, int]) -> None:
+        self._set_breakdown("errors", self._element_errors, values)
+
+    @property
+    def hw_counters(self) -> Dict[str, int]:
+        """Aggregated NIC counter deltas (``driver.hw.*`` in the registry)."""
+        return {
+            name: self.registry.get("driver.hw." + name)
+            for name in self._hw_names
+        }
+
+    @hw_counters.setter
+    def hw_counters(self, values: Dict[str, int]) -> None:
+        for name in self._hw_names:
+            self.registry.counter("driver.hw." + name).value = 0
+        self._hw_names = list(values)
+        for name, value in values.items():
+            self.registry.counter("driver.hw." + name).value = value
+
+    # -- derived views -----------------------------------------------------------
 
     @property
     def dropped_total(self) -> int:
@@ -117,6 +215,41 @@ class RunStats:
             self.rx_nombuf or self.imissed or self.rx_errors or self.tx_full
             or self.error_batches or self.watchdog_resets
         )
+
+    def snapshot(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            name: self._h[name].value for name in RUN_SCALARS
+        }
+        out["drops_by_element"] = self.drops_by_element
+        out["errors_by_element"] = self.errors_by_element
+        out["hw_counters"] = self.hw_counters
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        nonzero = {
+            name: value for name, value in self.snapshot().items() if value
+        }
+        return "RunStats(%s)" % ", ".join("%s=%r" % kv for kv in nonzero.items())
+
+
+def _run_scalar_property(name: str) -> property:
+    def fget(self):
+        return self._h[name].value
+
+    def fset(self, value):
+        self._h[name].value = value
+
+    return property(fget, fset, doc="Run scalar %r (registry-backed)." % name)
+
+
+for _name in RUN_SCALARS:
+    setattr(RunStats, _name, _run_scalar_property(_name))
+del _name
 
 
 class RouterDriver:
@@ -133,6 +266,7 @@ class RouterDriver:
         burst: int = 32,
         injector=None,
         watchdog=None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.graph = graph
         self.cpu = cpu
@@ -143,7 +277,17 @@ class RouterDriver:
         self.burst = burst
         self.injector = injector
         self.watchdog = watchdog
-        self.stats = RunStats()
+        # The telemetry bundle: always a registry (counter storage), plus
+        # the optional recorders.  Hot-path guards below are None checks,
+        # exactly like the fault injector's.
+        if telemetry is None:
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self.registry = telemetry.registry
+        self.attribution = telemetry.attribution
+        self.sampler = telemetry.sampler
+        self.spans = telemetry.spans
+        self.stats = RunStats(self.registry)
         self._hw_base: Dict[str, int] = {}
         self.rx_elements: List[Element] = []
         self.queue_elements: List[Element] = [
@@ -166,18 +310,38 @@ class RouterDriver:
         # All PMDs of one build share the metadata model; dropped packets
         # hand their buffers back to it (Click's Packet::kill()).
         self._model = next(iter(pmds.values())).model
+        # Every element reads its registry scope through the same path.
+        for element in graph.all_elements():
+            element.bind_telemetry(self.registry.scope("element." + element.name))
+        if self.attribution is not None:
+            self.attribution.bind(cpu)
+        if self.spans is not None:
+            self.spans.bind_clock(cpu.elapsed_ns)
+            for pmd in self._unique_pmds():
+                pmd.spans = self.spans
+        if self.sampler is not None:
+            self.sampler.restart(cpu.elapsed_ns())
         # Any rx_nombuf hits during initial ring fill predate measurement.
         self._hw_base = self.hw_counters()
 
     # -- execution -----------------------------------------------------------------
 
     def _kill(self, element_name: str, packets) -> None:
-        """Drop packets, releasing their DPDK buffers back to the model."""
+        """Drop packets, releasing their DPDK buffers back to the model.
+
+        The buffer-release cost is attributed to the element that dropped
+        the packets -- Click's ``Packet::kill()`` runs in the caller.
+        """
+        attribution = self.attribution
+        if attribution is not None:
+            attribution.sync(DRIVER_BUCKET)
         for pkt in packets:
             if pkt.mbuf is not None:
                 self._model.release(pkt.mbuf, self.cpu)
                 pkt.mbuf = None
         self.stats.record_drop(element_name, len(packets))
+        if attribution is not None:
+            attribution.sync("element." + element_name)
 
     def _quarantine(self, element: Element, packets) -> None:
         """Error boundary: a raising element forfeits its batch, not the run.
@@ -202,88 +366,118 @@ class RouterDriver:
 
     def _safe_clone(self, element: Element, pkt):
         """Clone, degrading to "no clone" when the pool is exhausted."""
+        attribution = self.attribution
+        if attribution is not None:
+            attribution.sync(DRIVER_BUCKET)
         try:
             return self._clone_packet(element, pkt)
         except MempoolEmptyError:
             self.stats.clone_alloc_failures += 1
             return None
+        finally:
+            if attribution is not None:
+                attribution.sync("element." + element.name)
 
     def _charge_element(self, element: Element, batch: List) -> None:
-        self.dispatch.charge(self.cpu, element, self.params)
-        program = self.exec_programs[element.name]
-        state = element.state_region.base if element.state_region else 0
-        cpu = self.cpu
-        for pkt in batch:
-            ref = pkt.mbuf
-            execute(
-                cpu,
-                program,
-                Bindings(
-                    packet_meta=ref.meta_addr if ref else 0,
-                    packet_mbuf=ref.mbuf_addr if ref else 0,
-                    descriptor=ref.cqe_addr if ref else 0,
-                    data=ref.data_addr if ref else 0,
-                    state=state,
-                ),
-            )
+        attribution = self.attribution
+        if attribution is not None:
+            attribution.sync(DRIVER_BUCKET)
+        try:
+            self.dispatch.charge(self.cpu, element, self.params)
+            program = self.exec_programs[element.name]
+            state = element.state_region.base if element.state_region else 0
+            cpu = self.cpu
+            for pkt in batch:
+                ref = pkt.mbuf
+                execute(
+                    cpu,
+                    program,
+                    Bindings(
+                        packet_meta=ref.meta_addr if ref else 0,
+                        packet_mbuf=ref.mbuf_addr if ref else 0,
+                        descriptor=ref.cqe_addr if ref else 0,
+                        data=ref.data_addr if ref else 0,
+                        state=state,
+                    ),
+                )
+        finally:
+            # Attribute even a partial (raising) charge to the element --
+            # the marks must tile the run for the totals to conserve.
+            if attribution is not None:
+                attribution.sync("element." + element.name)
 
     def _push_batch(self, element: Element, batch: List, tx_queues) -> None:
-        """Recursively push a batch through the graph from ``element``."""
-        while True:
-            try:
-                self._charge_element(element, batch)
-            except Exception:
-                self._quarantine(element, batch)
-                return
-            if element.decl.class_name == "ToDPDKDevice":
-                tx_queues.setdefault(element.name, (element, []))[1].extend(batch)
-                return
-            out: Dict[int, List] = {}
-            clones = getattr(element, "clones_packets", False)
-            failed_at = None
-            for i, pkt in enumerate(batch):
+        """Recursively push a batch through the graph from ``element``.
+
+        When spans are recorded, each element visited opens a span that
+        stays open while the batch continues downstream, so the recorded
+        stacks nest along the actual pipeline path
+        (``iteration;input;rt;output``).
+        """
+        spans = self.spans
+        pushed = 0
+        try:
+            while True:
+                if spans is not None:
+                    spans.push(element.name)
+                    pushed += 1
                 try:
-                    port = element.process(pkt)
+                    self._charge_element(element, batch)
                 except Exception:
-                    failed_at = i
-                    break
-                if port is None:
-                    self._kill(element.name, (pkt,))
-                    continue
-                if port == -1:  # held by a buffering element (Queue)
-                    continue
-                out.setdefault(port, []).append(pkt)
-                if clones:
-                    for extra_port in range(1, element.n_outputs):
-                        clone = self._safe_clone(element, pkt)
-                        if clone is not None:
-                            out.setdefault(extra_port, []).append(clone)
-            if failed_at is not None:
-                # Quarantine the batch: the unprocessed remainder plus
-                # whatever this element had already routed.
-                leftovers = list(batch[failed_at:])
-                for sub_batch in out.values():
-                    leftovers.extend(sub_batch)
-                self._quarantine(element, leftovers)
-                return
-            if not out:
-                return
-            # Fast path: single output port, continue iteratively.
-            if len(out) == 1:
-                ((port, batch),) = out.items()
-                target = element.target(port)
-                if target is None:
-                    self._kill(element.name, batch)
+                    self._quarantine(element, batch)
                     return
-                element = target[0]
-                continue
-            for port, sub_batch in out.items():
-                target = element.target(port)
-                if target is None:
-                    self._kill(element.name, sub_batch)
+                if element.decl.class_name == "ToDPDKDevice":
+                    tx_queues.setdefault(element.name, (element, []))[1].extend(batch)
+                    return
+                out: Dict[int, List] = {}
+                clones = getattr(element, "clones_packets", False)
+                failed_at = None
+                for i, pkt in enumerate(batch):
+                    try:
+                        port = element.process(pkt)
+                    except Exception:
+                        failed_at = i
+                        break
+                    if port is None:
+                        self._kill(element.name, (pkt,))
+                        continue
+                    if port == -1:  # held by a buffering element (Queue)
+                        continue
+                    out.setdefault(port, []).append(pkt)
+                    if clones:
+                        for extra_port in range(1, element.n_outputs):
+                            clone = self._safe_clone(element, pkt)
+                            if clone is not None:
+                                out.setdefault(extra_port, []).append(clone)
+                if failed_at is not None:
+                    # Quarantine the batch: the unprocessed remainder plus
+                    # whatever this element had already routed.
+                    leftovers = list(batch[failed_at:])
+                    for sub_batch in out.values():
+                        leftovers.extend(sub_batch)
+                    self._quarantine(element, leftovers)
+                    return
+                if not out:
+                    return
+                # Fast path: single output port, continue iteratively.
+                if len(out) == 1:
+                    ((port, batch),) = out.items()
+                    target = element.target(port)
+                    if target is None:
+                        self._kill(element.name, batch)
+                        return
+                    element = target[0]
                     continue
-                self._push_batch(target[0], sub_batch, tx_queues)
-            return
+                for port, sub_batch in out.items():
+                    target = element.target(port)
+                    if target is None:
+                        self._kill(element.name, sub_batch)
+                        continue
+                    self._push_batch(target[0], sub_batch, tx_queues)
+                return
+        finally:
+            if spans is not None:
+                spans.pop_n(pushed)
 
     def run_batches(self, n_batches: int) -> RunStats:
         """Run the main loop for ``n_batches`` iterations.
@@ -297,6 +491,10 @@ class RouterDriver:
             if self.at_eof():
                 self.quiesce()
                 break
+        if self.attribution is not None:
+            self.attribution.sync(DRIVER_BUCKET)
+        if self.sampler is not None:
+            self.sampler.flush(self.cpu.elapsed_ns())
         self._sync_hw_stats()
         return self.stats
 
@@ -304,28 +502,54 @@ class RouterDriver:
         """One main-loop iteration; returns packets received."""
         if self.injector is not None:
             self.injector.begin_iteration()
+        attribution = self.attribution
+        spans = self.spans
+        if spans is not None:
+            spans.push("iteration")
         received = 0
         transmitted = 0
         for rx in self.rx_elements:
+            if attribution is not None:
+                attribution.sync(DRIVER_BUCKET)
+            if spans is not None:
+                spans.push("pmd.rx")
             batch = rx.pmd.rx_burst(rx.param("burst"))
+            if spans is not None:
+                spans.pop()
+            if attribution is not None:
+                attribution.sync("pmd.rx")
             if not batch:
                 continue
             received += len(batch)
             self.stats.rx_packets += len(batch)
             tx_queues: Dict[str, tuple] = {}
             target = rx.target(0)
+            if spans is not None:
+                spans.push(rx.name)
             try:
-                self._charge_element(rx, batch)
-            except Exception:
-                self._quarantine(rx, batch)
-                continue
-            if target is None:
-                self._kill(rx.name, batch)
-            else:
-                self._push_batch(target[0], batch, tx_queues)
+                try:
+                    self._charge_element(rx, batch)
+                except Exception:
+                    self._quarantine(rx, batch)
+                    continue
+                if target is None:
+                    self._kill(rx.name, batch)
+                else:
+                    self._push_batch(target[0], batch, tx_queues)
+            finally:
+                if spans is not None:
+                    spans.pop()
             self._drain_queues(tx_queues)
             for element, pkts in tx_queues.values():
+                if attribution is not None:
+                    attribution.sync(DRIVER_BUCKET)
+                if spans is not None:
+                    spans.push("pmd.tx")
                 sent = element.pmd.tx_burst(pkts)
+                if spans is not None:
+                    spans.pop()
+                if attribution is not None:
+                    attribution.sync("pmd.tx")
                 transmitted += sent
                 self.stats.tx_packets += sent
                 self.stats.tx_bytes += sum(len(p) for p in pkts[:sent])
@@ -335,6 +559,10 @@ class RouterDriver:
         if self.watchdog is not None:
             if self.watchdog.observe(received > 0 or transmitted > 0):
                 self._watchdog_recover()
+        if spans is not None:
+            spans.pop()
+        if self.sampler is not None:
+            self.sampler.observe(self.cpu.elapsed_ns())
         return received
 
     # -- degraded-path support ---------------------------------------------------
@@ -426,5 +654,23 @@ class RouterDriver:
                 return
 
     def reset_stats(self) -> None:
-        self.stats = RunStats()
+        """Zero the run counters, detaching the previous stats object.
+
+        The old :class:`RunStats` is frozen (it keeps the finished run's
+        values, as the replace-the-dataclass reset used to guarantee),
+        then the shared driver/element/PMD counters are zeroed and a
+        fresh view is bound over them.  NIC counters stay cumulative, as
+        on real hardware; the delta base moves instead.
+        """
+        self.stats.freeze()
+        self.registry.reset("driver.")
+        self.registry.reset("element.")
+        self.registry.reset("pmd.")
+        self.stats = RunStats(self.registry)
+        if self.attribution is not None:
+            self.attribution.rebase()
+        if self.sampler is not None:
+            self.sampler.restart(self.cpu.elapsed_ns())
+        if self.spans is not None:
+            self.spans.reset()
         self._hw_base = self.hw_counters()

@@ -50,6 +50,8 @@ class Element(abc.ABC):
         self._param_offsets: Dict[str, int] = {}
         self._next_param_offset = 0
         self.drops = 0
+        # CounterScope over element.<name>.* when built with telemetry.
+        self.telemetry_scope = None
         self.configure(self.decl.positional_args(), self.decl.keyword_args())
         if len(self.targets) < self.n_outputs:
             self.targets.extend([None] * (self.n_outputs - len(self.targets)))
@@ -100,6 +102,23 @@ class Element(abc.ABC):
         return Program(self.name, [Compute(6, note="element-prologue")])
 
     # -- introspection ---------------------------------------------------------------
+
+    def bind_telemetry(self, scope) -> None:
+        """Attach this element's registry scope (``element.<name>.*``)."""
+        self.telemetry_scope = scope
+
+    def xstats(self) -> Dict[str, object]:
+        """Extended statistics, uniform across every element class.
+
+        The base implementation exposes whatever the registry holds for
+        this element -- drops, error batches, attributed cycles and cache
+        events -- under their scope-local names.  I/O elements extend it
+        with their port's hardware counters.  Unbound (no telemetry, or a
+        hand-built element), it returns ``{}``.
+        """
+        if self.telemetry_scope is None:
+            return {}
+        return self.telemetry_scope.snapshot()
 
     def __repr__(self) -> str:
         return "%s(%s)" % (type(self).__name__, self.name)

@@ -33,8 +33,11 @@ class FromDPDKDevice(Element):
         self.pmd = None  # bound at build time
 
     def xstats(self):
-        """The bound port's drop/error counters (empty when unbound)."""
-        return {} if self.pmd is None else self.pmd.nic.counters.snapshot()
+        """Element telemetry plus the bound port's drop/error counters."""
+        out = super().xstats()
+        if self.pmd is not None:
+            out.update(self.pmd.nic.counters.snapshot())
+        return out
 
     def process(self, pkt):
         return 0
@@ -68,8 +71,11 @@ class ToDPDKDevice(Element):
         self.pmd = None  # bound at build time
 
     def xstats(self):
-        """The bound port's drop/error counters (empty when unbound)."""
-        return {} if self.pmd is None else self.pmd.nic.counters.snapshot()
+        """Element telemetry plus the bound port's drop/error counters."""
+        out = super().xstats()
+        if self.pmd is not None:
+            out.update(self.pmd.nic.counters.snapshot())
+        return out
 
     def process(self, pkt):
         return 0  # the driver intercepts packets entering this element

@@ -10,14 +10,34 @@ running network functions.
 
 from __future__ import annotations
 
+from fnmatch import fnmatchcase
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.click.graph import ProcessingGraph
+from repro.telemetry.registry import is_glob
 
 
 class HandlerError(KeyError):
     """Unknown element or handler, or wrong access direction."""
+
+
+def _format_xstats(snap: Dict[str, object]) -> str:
+    """Render an xstats mapping one ``name: value`` per line.
+
+    An empty mapping reads ``(unbound)`` -- the element has neither a
+    telemetry scope nor (for I/O elements) a bound port.
+    """
+    if not snap:
+        return "(unbound)"
+    lines = []
+    for name in sorted(snap):
+        value = snap[name]
+        if isinstance(value, float) and not value.is_integer():
+            lines.append("%s: %.1f" % (name, value))
+        else:
+            lines.append("%s: %d" % (name, value))
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -46,6 +66,11 @@ def _common_handlers(element) -> Dict[str, Handler]:
             "ports",
             read=lambda e: "%d inputs, %d outputs" % (e.n_inputs, e.n_outputs),
         ),
+        # Uniform across every element class: whatever the telemetry
+        # registry holds for this element (drops, errors, attributed
+        # cycles and cache events), plus -- on I/O elements -- the bound
+        # port's hardware counters.  See Element.xstats().
+        "xstats": Handler("xstats", read=lambda e: _format_xstats(e.xstats())),
     }
     return handlers
 
@@ -98,18 +123,12 @@ def _class_handlers(element) -> Dict[str, Handler]:
     elif cls == "Print":
         add("lines", read=lambda e: "\n".join(e.lines))
     elif cls in ("FromDPDKDevice", "ToDPDKDevice"):
-        # Mirrors rte_eth_stats/xstats on the bound port.  The PMD is
-        # attached at build time; before that the handlers read as zeros.
+        # Named shortcuts into rte_eth_stats on the bound port (the full
+        # dump is the uniform xstats handler every element now has).  The
+        # PMD is attached at build time; before that these read as zeros.
         def _nic_counter(e, name):
             return str(e.xstats().get(name, 0))
 
-        def _xstats(e):
-            snap = e.xstats()
-            if not snap:
-                return "(unbound)"
-            return "\n".join("%s: %d" % (k, snap[k]) for k in sorted(snap))
-
-        add("xstats", read=_xstats)
         if cls == "FromDPDKDevice":
             add("rx_nombuf", read=lambda e: _nic_counter(e, "rx_nombuf"))
             add("imissed", read=lambda e: _nic_counter(e, "imissed"))
@@ -134,8 +153,7 @@ class HandlerBroker:
             element = self.graph.element(element_name)
         except KeyError:
             raise HandlerError("no element named %r" % element_name) from None
-        handlers = dict(_common_handlers(element))
-        handlers.update(_class_handlers(element))
+        handlers = self._handlers_of(element)
         try:
             handler = handlers[handler_name]
         except KeyError:
@@ -146,11 +164,39 @@ class HandlerBroker:
             ) from None
         return element, handler
 
+    def _handlers_of(self, element) -> Dict[str, Handler]:
+        handlers = dict(_common_handlers(element))
+        handlers.update(_class_handlers(element))
+        return handlers
+
     def read(self, path: str) -> str:
+        """Read one handler -- or every handler matching a glob.
+
+        ``broker.read("*.count")`` returns the matching readable
+        handlers as ``element.handler: value`` lines, in element order.
+        """
+        if is_glob(path):
+            matches = self.read_many(path)
+            if not matches:
+                raise HandlerError("no readable handler matches %r" % path)
+            return "\n".join(
+                "%s: %s" % (full, value) for full, value in matches.items()
+            )
         element, handler = self._split(path)
         if not handler.readable:
             raise HandlerError("handler %r is not readable" % path)
         return handler.read(element)
+
+    def read_many(self, pattern: str) -> Dict[str, str]:
+        """Glob read: ``{element.handler: value}`` for readable matches."""
+        out: Dict[str, str] = {}
+        for name in sorted(self.graph.elements):
+            element = self.graph.elements[name]
+            for hname, handler in sorted(self._handlers_of(element).items()):
+                full = "%s.%s" % (name, hname)
+                if handler.readable and fnmatchcase(full, pattern):
+                    out[full] = handler.read(element)
+        return out
 
     def write(self, path: str, value: str = "") -> None:
         element, handler = self._split(path)
@@ -159,21 +205,22 @@ class HandlerBroker:
         handler.write(element, value)
 
     def list_handlers(self, element_name: str):
-        element = self.graph.element(element_name)
-        handlers = dict(_common_handlers(element))
-        handlers.update(_class_handlers(element))
-        return sorted(handlers)
+        return sorted(self._handlers_of(self.graph.element(element_name)))
 
     def dump(self) -> str:
-        """A flatconfig-style dump of every element's readable handlers."""
+        """A flatconfig-style dump of every element's readable handlers.
+
+        Multi-line values (the xstats blocks) are left to explicit reads
+        to keep the dump one entry per line.
+        """
         lines = []
         for name in sorted(self.graph.elements):
             element = self.graph.elements[name]
             lines.append("%s :: %s" % (name, element.decl.class_name))
-            handlers = dict(_common_handlers(element))
-            handlers.update(_class_handlers(element))
+            handlers = self._handlers_of(element)
             for hname in sorted(handlers):
                 handler = handlers[hname]
-                if handler.readable and hname not in ("class", "name", "config"):
+                if (handler.readable
+                        and hname not in ("class", "name", "config", "xstats")):
                     lines.append("  %s: %s" % (hname, handler.read(element)))
         return "\n".join(lines)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.click.driver import RouterDriver, RunStats
+from repro.telemetry.ledger import LEDGER_NAMES, RUNSTATS_MIRROR
 
 
 @dataclass
@@ -29,6 +30,8 @@ class MeasuredRun:
     counters: dict
     #: The driver's full RunStats (drop ledger included), when available.
     stats: Optional[RunStats] = None
+    #: The build's repro.telemetry.Telemetry bundle, when available.
+    telemetry: Optional[object] = None
 
     @property
     def ns_per_packet(self) -> float:
@@ -45,6 +48,30 @@ class MeasuredRun:
     @property
     def mean_frame_len(self) -> float:
         return self.tx_bytes / self.tx_packets if self.tx_packets else 0.0
+
+    @property
+    def ledger(self) -> Dict[str, int]:
+        """The run's drop ledger, read from the counter snapshot."""
+        return {
+            counter_field: self.counters.get(counter_field, 0)
+            for counter_field, _ in RUNSTATS_MIRROR
+        }
+
+
+def _ledger_shim(name: str) -> property:
+    def fget(self):
+        return self.counters.get(name, 0)
+
+    return property(
+        fget, doc="Ledger counter %r, read from the counter snapshot." % name
+    )
+
+
+# Direct attribute access to the ledger (run.rx_nombuf, run.tx_full, ...),
+# reading the same snapshot every other view of the run does.
+for _name in LEDGER_NAMES + ("sw_drops",):
+    setattr(MeasuredRun, _name, _ledger_shim(_name))
+del _name
 
 
 class SpecializedBinary:
@@ -89,13 +116,8 @@ class SpecializedBinary:
         # Mirror the degraded-path ledger into the perf counter view so
         # reports can tell "CPU-bound" from "fault-degraded" (all zero on
         # a healthy run; stats fields are deltas since the last reset).
-        counters.rx_nombuf = stats.rx_nombuf
-        counters.imissed = stats.imissed
-        counters.rx_errors = stats.rx_errors
-        counters.tx_full = stats.tx_full
-        counters.sw_drops = stats.drops
-        counters.element_errors = stats.error_batches
-        counters.watchdog_resets = stats.watchdog_resets
+        # The mapping is the single schema in repro.telemetry.ledger.
+        counters.sync_ledger(stats)
         return MeasuredRun(
             packets=packets,
             tx_packets=stats.tx_packets,
@@ -106,6 +128,7 @@ class SpecializedBinary:
             total_cycles=self.cpu.total_cycles(),
             counters=counters.snapshot(),
             stats=stats,
+            telemetry=getattr(self.driver, "telemetry", None),
         )
 
     def measure(self, batches: int = 300, warmup_batches: int = 120) -> MeasuredRun:

@@ -46,6 +46,7 @@ from repro.hw.layout import AddressSpace
 from repro.hw.memory import MemorySystem
 from repro.hw.params import DEFAULT_PARAMS, MachineParams
 from repro.net.trace import CampusTraceGenerator, TraceSpec
+from repro.telemetry import Telemetry, TelemetryConfig
 
 TraceFactory = Callable[[int, int], object]  # (port, core) -> trace generator
 
@@ -71,6 +72,7 @@ class PacketMill:
         burst: Optional[int] = None,
         faults: Optional[FaultSchedule] = None,
         watchdog_threshold: int = DEFAULT_THRESHOLD,
+        telemetry: Union[None, bool, TelemetryConfig] = None,
     ):
         self.config = config
         self.options = options or BuildOptions.vanilla()
@@ -79,6 +81,12 @@ class PacketMill:
         self.burst = burst or self.options.burst
         self.faults = faults
         self.watchdog_threshold = watchdog_threshold
+        # Counter storage is always on (it IS the stats); the optional
+        # recorders (windows, attribution, spans) only exist when a
+        # config is passed -- observation charges nothing either way.
+        if telemetry is True:
+            telemetry = TelemetryConfig()
+        self.telemetry_config: Optional[TelemetryConfig] = telemetry or None
         if trace is None:
             self._trace_factory: TraceFactory = _default_trace_factory
         elif callable(trace) and not hasattr(trace, "next_packet"):
@@ -134,6 +142,11 @@ class PacketMill:
         params = self.params
         graph = ProcessingGraph.from_text(self.config)
         cpu = CpuCore(params, mem, core_id)
+        # One registry per binary; the shared memory system's per-core
+        # counters are mounted under cpu. so the cache model's live
+        # handles and this build's telemetry read the same cells.
+        telemetry = Telemetry(config=self.telemetry_config)
+        telemetry.registry.mount("cpu", mem.registry_for(core_id))
         # Disjoint per-core address ranges: replicas share the LLC but must
         # not alias each other's lines.
         space = AddressSpace(seed=self.seed + core_id, offset=core_id << 36)
@@ -203,7 +216,8 @@ class PacketMill:
         for port in ports:
             trace = self._trace_factory(port, core_id)
             nic = Nic(params, mem, space, trace,
-                      name="nic%d_c%d" % (port, core_id), port=port)
+                      name="nic%d_c%d" % (port, core_id), port=port,
+                      registry=telemetry.registry)
             nic.faults = injector
             pmds[port] = MlxPmd(
                 nic, model, cpu, registry,
@@ -215,7 +229,7 @@ class PacketMill:
         dispatch = self._dispatch_policy()
         driver = RouterDriver(
             graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst,
-            injector=injector, watchdog=watchdog,
+            injector=injector, watchdog=watchdog, telemetry=telemetry,
         )
         binary = SpecializedBinary(
             options=options,
@@ -233,4 +247,5 @@ class PacketMill:
         )
         binary.pass_manager = pass_manager
         binary.injector = injector
+        binary.telemetry = telemetry
         return binary

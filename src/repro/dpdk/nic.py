@@ -19,44 +19,100 @@ the delivery path is byte-identical to the fault-free model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dpdk.mbuf import CQE_SIZE, TX_WQE_SIZE, BufferRef
 from repro.dpdk.ring import DescriptorRing
 from repro.net.packet import Packet
+from repro.telemetry.registry import CounterRegistry
+
+#: Every xstat the port exposes, in DPDK display order.
+NIC_FIELDS = (
+    "rx_nombuf",        # RX replenish failed: mempool empty
+    "imissed",          # frame arrived with no posted descriptor
+    "rx_errors",        # damaged frames discarded by the PMD
+    "rx_truncated",     # ... of which runt/short frames
+    "rx_corrupt",       # ... of which checksum failures
+    "tx_full",          # packets refused because the TX path was full
+    "link_down_polls",  # polls answered while the link was down
+    "cqe_stalls",       # polls answered while completions stalled
+    "rx_underruns",     # polls that found no frame ready
+)
 
 
-@dataclass
 class NicCounters:
-    """Drop/error accounting, mirroring DPDK's port stats and xstats."""
+    """Drop/error accounting, mirroring DPDK's port stats and xstats.
 
-    rx_nombuf: int = 0        # RX replenish failed: mempool empty
-    imissed: int = 0          # frame arrived with no posted descriptor
-    rx_errors: int = 0        # damaged frames discarded by the PMD
-    rx_truncated: int = 0     # ... of which runt/short frames
-    rx_corrupt: int = 0       # ... of which checksum failures
-    tx_full: int = 0          # packets refused because the TX path was full
-    link_down_polls: int = 0  # polls answered while the link was down
-    cqe_stalls: int = 0       # polls answered while completions stalled
-    rx_underruns: int = 0     # polls that found no frame ready
+    A view over one registry scope, like
+    :class:`repro.hw.counters.PerfCounters`: pass a shared ``registry``
+    (and a ``nic.<port>`` style ``prefix``) to make the port's xstats
+    first-class telemetry names; constructed bare it owns private
+    storage, preserving the old dataclass behaviour.
+    """
+
+    FIELDS = NIC_FIELDS
+
+    __slots__ = ("registry", "prefix", "_handles")
+
+    def __init__(self, registry: Optional[CounterRegistry] = None,
+                 prefix: str = "", **initial):
+        self.registry = registry if registry is not None else CounterRegistry()
+        if prefix and not prefix.endswith("."):
+            prefix += "."
+        self.prefix = prefix
+        self._handles = {
+            name: self.registry.counter(prefix + name) for name in NIC_FIELDS
+        }
+        for name, value in initial.items():
+            if name not in NIC_FIELDS:
+                raise TypeError("unexpected counter %r" % name)
+            self._handles[name].value = value
 
     def snapshot(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: self._handles[name].value for name in NIC_FIELDS}
 
     def add(self, other: "NicCounters") -> None:
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in NIC_FIELDS:
+            self._handles[name].value += getattr(other, name)
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        for name in NIC_FIELDS:
+            self._handles[name].value = 0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NicCounters):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        nonzero = {
+            name: value for name, value in self.snapshot().items() if value
+        }
+        return "NicCounters(%s)" % ", ".join(
+            "%s=%r" % kv for kv in nonzero.items()
+        )
+
+
+def _xstat_property(name: str) -> property:
+    def fget(self):
+        return self._handles[name].value
+
+    def fset(self, value):
+        self._handles[name].value = value
+
+    return property(fget, fset, doc="Port xstat %r (registry-backed)." % name)
+
+
+for _name in NIC_FIELDS:
+    setattr(NicCounters, _name, _xstat_property(_name))
+del _name
 
 
 class Nic:
     """One port of the simulated NIC, driven by a trace source."""
 
-    def __init__(self, params, mem, space, trace, name: str = "nic0", port: int = 0):
+    def __init__(self, params, mem, space, trace, name: str = "nic0", port: int = 0,
+                 registry: Optional[CounterRegistry] = None):
         self.params = params
         self.mem = mem
         self.trace = trace
@@ -69,7 +125,9 @@ class Nic:
         self.rx_delivered = 0
         self.tx_sent = 0
         self.tx_bytes = 0
-        self.counters = NicCounters()
+        # With a shared registry the port's xstats live under nic.<port>.;
+        # bare construction keeps them private, as before.
+        self.counters = NicCounters(registry, "nic.%d" % port if registry else "")
         self.faults = None  # optional repro.faults.FaultInjector
         self.trace_exhausted = False
 

@@ -60,6 +60,9 @@ class MlxPmd:
             tx_ir = profile_guided(tx_ir)
         self.rx_exec: ExecProgram = lower(rx_ir, registry)
         self.tx_exec: ExecProgram = lower(tx_ir, registry)
+        # Optional repro.telemetry.SpanRecorder; when bound, rx_burst
+        # brackets its DMA and conversion stages as nested spans.
+        self.spans = None
         self._fill_rx_ring()
 
     def _fill_rx_ring(self) -> None:
@@ -85,7 +88,13 @@ class MlxPmd:
     def rx_burst(self, max_burst: int) -> List[Packet]:
         """Receive up to ``max_burst`` packets, charging the driver path."""
         self.cpu.charge_compute(BURST_OVERHEAD_INSTRUCTIONS)
+        spans = self.spans
+        if spans is not None:
+            spans.push("dma")
         delivered = self.nic.deliver(max_burst)
+        if spans is not None:
+            spans.pop()
+            spans.push("convert")
         out: List[Packet] = []
         for ref, pkt in delivered:
             if pkt.rx_error is not None:
@@ -120,6 +129,8 @@ class MlxPmd:
             )
             pkt.mbuf = ref
             out.append(pkt)
+        if spans is not None:
+            spans.pop()
         # Replenish the RX ring with as many buffers as were consumed
         # (topping up any deficit a previous allocation failure left).
         self._replenish_rx(self.cpu)

@@ -15,13 +15,14 @@ Not paper figures -- these isolate single knobs of the system:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List
 
 from repro.core.nfs import forwarder
 from repro.core.options import BuildOptions, MetadataModel
 from repro.core.packetmill import PacketMill
 from repro.dpdk.xchg_api import fastclick_conversions
+from repro.experiments.result import ExperimentResult
 from repro.hw.params import MachineParams
 from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
 from repro.perf.runner import measure_throughput
@@ -39,9 +40,14 @@ def _measure(binary, batches=160):
 
 
 @dataclass
-class AblationResult:
+class AblationResult(ExperimentResult):
+    # The mixin's ``name`` class attribute reads as an inherited default
+    # here, so ``rows`` needs one too to keep the field order legal.
     name: str
-    rows: List[Dict[str, object]]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def _points(self):
+        return [dict(row) for row in self.rows]
 
     def column(self, key):
         return [row[key] for row in self.rows]

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     build_and_measure,
     format_rows,
 )
+from repro.experiments.result import ExperimentResult
 from repro.perf.loadlatency import LatencyResult, LoadLatencySimulator
 
 VARIANTS = {
@@ -33,11 +34,35 @@ LOAD_FRACTIONS = (0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05)
 
 
 @dataclass
-class Fig01Result:
+class Fig01Result(ExperimentResult):
     service_ns: Dict[str, float]
     capacity_gbps: Dict[str, float]
     mean_frame: float
     curves: Dict[str, List[LatencyResult]]
+
+    name = "fig01"
+
+    def _params(self):
+        return {
+            "mean_frame": self.mean_frame,
+            "service_ns": dict(self.service_ns),
+            "capacity_gbps": dict(self.capacity_gbps),
+        }
+
+    def _points(self):
+        points = []
+        for variant, curve in self.curves.items():
+            for sample in curve:
+                points.append({
+                    "variant": variant,
+                    "offered_pps": sample.offered_pps,
+                    "achieved_pps": sample.achieved_pps,
+                    "drop_rate": sample.drop_rate,
+                    "mean_us": sample.mean_us,
+                    "p50_us": sample.p50_us,
+                    "p99_us": sample.p99_us,
+                })
+        return points
 
 
 def run(scale: Scale = QUICK) -> Fig01Result:

@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 from repro.core.nfs import router
 from repro.core.options import BuildOptions
 from repro.experiments.common import QUICK, Row, Scale, build_and_measure, format_rows
+from repro.experiments.result import ExperimentResult, series_points
 from repro.perf.loadlatency import LoadLatencySimulator
 from repro.perf.stats import linear_fit, quadratic_fit
 
@@ -26,12 +27,27 @@ VARIANTS = (
 
 
 @dataclass
-class Fig04Result:
+class Fig04Result(ExperimentResult):
     frequencies: List[float]
     throughput_gbps: Dict[str, List[float]]
     median_latency_us: Dict[str, List[float]]
     throughput_fits: Dict[str, Tuple[float, float, float]]
     latency_fits: Dict[str, Tuple[float, float, float, float]]
+
+    name = "fig04"
+
+    def _params(self):
+        return {
+            "frequencies": list(self.frequencies),
+            "throughput_fits": {k: list(v) for k, v in self.throughput_fits.items()},
+            "latency_fits": {k: list(v) for k, v in self.latency_fits.items()},
+        }
+
+    def _points(self):
+        return series_points("freq_ghz", self.frequencies, {
+            "gbps": self.throughput_gbps,
+            "median_latency_us": self.median_latency_us,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig04Result:

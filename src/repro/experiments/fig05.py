@@ -22,17 +22,30 @@ from repro.experiments.common import (
     fixed_trace_factory,
     format_rows,
 )
+from repro.experiments.result import ExperimentResult, series_points
 
 MODELS = (MetadataModel.COPYING, MetadataModel.OVERLAYING, MetadataModel.XCHANGE)
 FRAME_LEN = 1024
 
 
 @dataclass
-class Fig05Result:
+class Fig05Result(ExperimentResult):
     frequencies: List[float]
     one_nic_gbps: Dict[str, List[float]]
     two_nic_gbps: Dict[str, List[float]]
     one_nic_bound: Dict[str, List[str]]
+
+    name = "fig05"
+
+    def _params(self):
+        return {"frequencies": list(self.frequencies)}
+
+    def _points(self):
+        return series_points("freq_ghz", self.frequencies, {
+            "one_nic_gbps": self.one_nic_gbps,
+            "two_nic_gbps": self.two_nic_gbps,
+            "one_nic_bound": self.one_nic_bound,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig05Result:

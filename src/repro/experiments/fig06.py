@@ -22,6 +22,7 @@ from repro.experiments.common import (
     fixed_trace_factory,
     format_rows,
 )
+from repro.experiments.result import ExperimentResult, series_points
 
 VARIANTS = {
     "Vanilla": BuildOptions.vanilla(),
@@ -30,11 +31,23 @@ VARIANTS = {
 
 
 @dataclass
-class Fig06Result:
+class Fig06Result(ExperimentResult):
     sizes: List[int]
     gbps: Dict[str, List[float]]
     mpps: Dict[str, List[float]]
     bound_by: Dict[str, List[str]]
+
+    name = "fig06"
+
+    def _params(self):
+        return {"sizes": list(self.sizes)}
+
+    def _points(self):
+        return series_points("size", self.sizes, {
+            "gbps": self.gbps,
+            "mpps": self.mpps,
+            "bound_by": self.bound_by,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig06Result:

@@ -24,16 +24,38 @@ from repro.experiments.common import (
     format_rows,
     improvement_pct,
 )
+from repro.experiments.result import ExperimentResult
 
 ACCESS_COUNTS = (1, 5)
 
 
 @dataclass
-class Fig07Result:
+class Fig07Result(ExperimentResult):
     footprints_mb: List[float]
     work_numbers: List[int]
     # (n, s_mb, w) -> (vanilla_gbps, improvement_pct)
     surface: Dict[Tuple[int, float, int], Tuple[float, float]]
+
+    name = "fig07"
+
+    def _params(self):
+        return {
+            "footprints_mb": list(self.footprints_mb),
+            "work_numbers": list(self.work_numbers),
+        }
+
+    def _points(self):
+        return [
+            {
+                "n_accesses": n,
+                "footprint_mb": s_mb,
+                "work": w,
+                "vanilla_gbps": vanilla_gbps,
+                "improvement_pct": gain_pct,
+            }
+            for (n, s_mb, w), (vanilla_gbps, gain_pct)
+            in sorted(self.surface.items())
+        ]
 
 
 def run(scale: Scale = QUICK) -> Fig07Result:

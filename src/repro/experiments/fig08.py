@@ -13,6 +13,7 @@ from typing import Dict, List
 from repro.core.nfs import ids_router
 from repro.core.options import BuildOptions
 from repro.experiments.common import QUICK, Row, Scale, build_and_measure, format_rows
+from repro.experiments.result import ExperimentResult, series_points
 from repro.perf.loadlatency import LoadLatencySimulator
 
 VARIANTS = {
@@ -22,10 +23,21 @@ VARIANTS = {
 
 
 @dataclass
-class Fig08Result:
+class Fig08Result(ExperimentResult):
     frequencies: List[float]
     gbps: Dict[str, List[float]]
     median_latency_us: Dict[str, List[float]]
+
+    name = "fig08"
+
+    def _params(self):
+        return {"frequencies": list(self.frequencies)}
+
+    def _points(self):
+        return series_points("freq_ghz", self.frequencies, {
+            "gbps": self.gbps,
+            "median_latency_us": self.median_latency_us,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig08Result:

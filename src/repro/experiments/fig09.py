@@ -25,6 +25,7 @@ from repro.experiments.common import (
     build_and_measure,
     format_rows,
 )
+from repro.experiments.result import ExperimentResult, series_points
 
 N_ACCESSES = 1
 W_NUMBERS = 4
@@ -36,12 +37,25 @@ VARIANTS = {
 
 
 @dataclass
-class Fig09Result:
+class Fig09Result(ExperimentResult):
     footprints_mb: List[float]
     gbps: Dict[str, List[float]]
     cpu_mpps: Dict[str, List[float]]
     miss_pct: Dict[str, List[float]]
     kloads_100ms: Dict[str, List[float]]
+
+    name = "fig09"
+
+    def _params(self):
+        return {"footprints_mb": list(self.footprints_mb)}
+
+    def _points(self):
+        return series_points("footprint_mb", self.footprints_mb, {
+            "gbps": self.gbps,
+            "cpu_mpps": self.cpu_mpps,
+            "miss_pct": self.miss_pct,
+            "kloads_100ms": self.kloads_100ms,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig09Result:

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     campus_trace_factory,
     format_rows,
 )
+from repro.experiments.result import ExperimentResult, series_points
 from repro.hw.params import MachineParams
 from repro.perf.runner import measure_multicore
 
@@ -33,10 +34,21 @@ CORE_COUNTS = (1, 2, 3, 4)
 
 
 @dataclass
-class Fig10Result:
+class Fig10Result(ExperimentResult):
     core_counts: List[int]
     gbps: Dict[str, List[float]]
     bound_by: Dict[str, List[str]]
+
+    name = "fig10"
+
+    def _params(self):
+        return {"core_counts": list(self.core_counts)}
+
+    def _points(self):
+        return series_points("cores", self.core_counts, {
+            "gbps": self.gbps,
+            "bound_by": self.bound_by,
+        })
 
 
 def run(scale: Scale = QUICK) -> Fig10Result:

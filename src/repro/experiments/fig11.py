@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.experiments.common import QUICK, Row, Scale, format_rows
+from repro.experiments.result import ExperimentResult, series_points
 from repro.frameworks import FRAMEWORK_BUILDERS
 from repro.hw.params import MachineParams
 from repro.perf.runner import measure_throughput
@@ -30,9 +31,17 @@ FIG11B = (
 
 
 @dataclass
-class Fig11Result:
+class Fig11Result(ExperimentResult):
     sizes: List[int]
     gbps: Dict[str, List[float]]
+
+    name = "fig11"
+
+    def _params(self):
+        return {"sizes": list(self.sizes)}
+
+    def _points(self):
+        return series_points("size", self.sizes, {"gbps": self.gbps})
 
 
 def run(scale: Scale = QUICK) -> Fig11Result:

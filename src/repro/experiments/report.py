@@ -7,6 +7,7 @@ tables -- the data behind EXPERIMENTS.md, reproducible in one command.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from typing import Optional
@@ -29,14 +30,22 @@ MODULES = [
 
 
 def generate(scale: Scale = QUICK, out_path: Optional[str] = None,
-             only: Optional[str] = None, log=print) -> str:
-    """Run the experiments and return (and optionally write) the report."""
+             only: Optional[str] = None, log=print,
+             json_path: Optional[str] = None) -> str:
+    """Run the experiments and return (and optionally write) the report.
+
+    ``json_path`` additionally dumps every result through the common
+    :class:`repro.experiments.result.ExperimentResult` protocol -- one
+    JSON array of ``{name, params, points}`` documents -- so downstream
+    plotting never needs the per-figure dataclass shapes.
+    """
     sections = [
         "# PacketMill reproduction report",
         "",
         "Scale: %s.  Every section is one paper table/figure; claims are"
         " machine-checked by the module's `check()`." % scale.name,
     ]
+    documents = []
     for label, module in MODULES:
         if only and only not in module.__name__:
             continue
@@ -45,6 +54,7 @@ def generate(scale: Scale = QUICK, out_path: Optional[str] = None,
         result = module.run(scale)
         module.check(result)
         elapsed = time.time() - started
+        documents.append(result.to_dict())
         sections.append("")
         sections.append("## %s  (checked OK, %.0f s)" % (label, elapsed))
         sections.append("")
@@ -56,6 +66,11 @@ def generate(scale: Scale = QUICK, out_path: Optional[str] = None,
         with open(out_path, "w") as handle:
             handle.write(report + "\n")
         log("wrote %s" % out_path)
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(documents, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        log("wrote %s" % json_path)
     return report
 
 

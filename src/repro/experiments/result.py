@@ -1,0 +1,111 @@
+"""The common shape of every experiment's result.
+
+Each ``repro.experiments.figNN`` module returns its own dataclass from
+``run(scale)``, with fields matching the paper figure it reproduces.
+Historically every consumer (``experiments/report.py``, chart helpers,
+notebooks) special-cased those shapes.  :class:`ExperimentResult` is the
+protocol they all share instead:
+
+``name``
+    The experiment's identifier (``"fig06"``, ``"table1"``, ...).
+``params``
+    Scalar/config facts about the run (fitted coefficients, sweep axes,
+    the mean frame length) -- everything that is *about* the experiment
+    rather than a measured sample.
+``points``
+    A flat list of record dicts, one per measured sample, with
+    homogeneous keys per experiment (``{"variant": ..., "freq_ghz": ...,
+    "gbps": ...}``).  This is the long/tidy form charting and JSON
+    consumers want.
+``to_json()``
+    The whole result as one JSON document.
+
+The mixin carries no dataclass fields, so the existing result
+dataclasses adopt it by inheritance without changing their constructors
+or field order; each implements ``_params()``/``_points()`` to flatten
+its own shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+
+class ExperimentResult:
+    """Mixin giving a result dataclass the common experiment protocol."""
+
+    #: Experiment identifier; subclasses override (instance fields win,
+    #: as for AblationResult's ``name`` field).
+    name: str = "experiment"
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def _params(self) -> Dict[str, object]:
+        """Experiment-level facts (axes, fits, constants).  Override."""
+        return {}
+
+    def _points(self) -> List[Dict[str, object]]:
+        """Flat per-sample records.  Override."""
+        return []
+
+    # -- the protocol -----------------------------------------------------------
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return self._params()
+
+    @property
+    def points(self) -> List[Dict[str, object]]:
+        return self._points()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "params": self.params, "points": self.points}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def series(self, x: str, y: str, group: str = "variant"
+               ) -> Dict[str, tuple]:
+        """Points pivoted to ``{group_value: (xs, ys)}`` chart series.
+
+        Records missing any of the three keys are skipped, so mixed-shape
+        point lists (fig01's summary rows next to its curve rows) pivot
+        cleanly.
+        """
+        out: Dict[str, tuple] = {}
+        for record in self.points:
+            if x not in record or y not in record or group not in record:
+                continue
+            xs, ys = out.setdefault(str(record[group]), ([], []))
+            xs.append(record[x])
+            ys.append(record[y])
+        return out
+
+
+def series_points(
+    x_name: str,
+    xs: Sequence,
+    columns: Dict[str, Dict[str, Sequence]],
+    group: str = "variant",
+) -> List[Dict[str, object]]:
+    """Flatten the dominant experiment shape into point records.
+
+    Most figures measure several *variants* over one sweep axis and store
+    each metric as ``{variant: [values aligned with xs]}``.  Given
+    ``columns = {"gbps": {...}, "mpps": {...}}`` this produces one record
+    per (variant, x): ``{"variant": v, x_name: x, "gbps": ..., ...}``.
+    """
+    if not columns:
+        return []
+    first = next(iter(columns.values()))
+    points: List[Dict[str, object]] = []
+    for variant in first:
+        for index, x in enumerate(xs):
+            record: Dict[str, object] = {group: variant, x_name: x}
+            for column_name, per_variant in columns.items():
+                values = per_variant.get(variant)
+                if values is not None and index < len(values):
+                    record[column_name] = values[index]
+            points.append(record)
+    return points

@@ -21,11 +21,20 @@ from repro.experiments.common import (
     format_rows,
 )
 from repro.experiments.fig04 import VARIANTS
+from repro.experiments.result import ExperimentResult
 
 
 @dataclass
-class Table1Result:
+class Table1Result(ExperimentResult):
     metrics: Dict[str, Dict[str, float]]  # variant -> metric -> value
+
+    name = "table1"
+
+    def _points(self):
+        return [
+            dict({"variant": variant}, **values)
+            for variant, values in self.metrics.items()
+        ]
 
 
 def run(scale: Scale = QUICK) -> Table1Result:

@@ -41,7 +41,7 @@ class CpuCore:
 
     def charge_branch_miss(self, count: float = 1.0) -> None:
         self.core_cycles += self.params.branch_miss_cycles * count
-        self.mem.counters[self.core_id].branch_misses += round(count)
+        self.mem.counters[self.core_id].handles.branch_misses.value += round(count)
 
     def mem_access(self, addr: int, size: int = 8, write: bool = False,
                    instructions: float = 1.0) -> None:

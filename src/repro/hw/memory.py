@@ -62,7 +62,7 @@ class MemorySystem:
         consulted once per page touched.
         """
         params = self.params
-        counters = self.counters[core]
+        h = self.counters[core].handles
         line = params.cache_line
         first_line = addr // line
         last_line = (addr + size - 1) // line
@@ -76,20 +76,20 @@ class MemorySystem:
                 ns += self.tlbs[core].access(page)
             level = self.hierarchy.lookup(core, line_addr)
             if level == CacheHierarchy.L1:
-                counters.l1_hits += 1
+                h.l1_hits.value += 1
                 cycles += params.l1_hit_cycles
             elif level == CacheHierarchy.L2:
-                counters.l2_hits += 1
+                h.l2_hits.value += 1
                 cycles += params.l2_hit_cycles
             elif level == CacheHierarchy.LLC:
-                counters.llc_loads += 1
-                counters.llc_hits += 1
+                h.llc_loads.value += 1
+                h.llc_hits.value += 1
                 ns += params.llc_hit_ns / params.mlp
             else:
-                counters.llc_loads += 1
-                counters.llc_misses += 1
+                h.llc_loads.value += 1
+                h.llc_misses.value += 1
                 ns += params.dram_ns / params.mlp
-        counters.dtlb_walks = self.tlbs[core].walks
+        h.dtlb_walks.value = self.tlbs[core].walks
         return cycles, ns
 
     def _page_of(self, addr: int) -> int:
@@ -108,42 +108,42 @@ class MemorySystem:
         rather than an emergent result.
         """
         params = self.params
-        counters = self.counters[core]
+        h = self.counters[core].handles
         u = self._rng.random()
         if u < params.heap_dispatch_p_dram:
-            counters.llc_loads += 1
-            counters.llc_misses += 1
+            h.llc_loads.value += 1
+            h.llc_misses.value += 1
             return 0.0, params.dram_ns / params.mlp
         if u < params.heap_dispatch_p_dram + params.heap_dispatch_p_llc:
-            counters.llc_loads += 1
-            counters.llc_hits += 1
+            h.llc_loads.value += 1
+            h.llc_hits.value += 1
             return 0.0, params.llc_hit_ns / params.mlp
         if u < (params.heap_dispatch_p_dram + params.heap_dispatch_p_llc
                 + params.heap_dispatch_p_l2):
-            counters.l2_hits += 1
+            h.l2_hits.value += 1
             return params.l2_hit_cycles, 0.0
-        counters.l1_hits += 1
+        h.l1_hits.value += 1
         return params.l1_hit_cycles, 0.0
 
     def analytic_access(self, core: int, footprint: int) -> Tuple[float, float]:
         """One uniformly-random access into a ``footprint``-byte region."""
         params = self.params
-        counters = self.counters[core]
+        h = self.counters[core].handles
         u = self._rng.random()
         p_l1 = min(1.0, self.l1_effective / footprint) if footprint else 1.0
         p_l2 = min(1.0, self.l2_effective / footprint) if footprint else 1.0
         p_llc = min(1.0, self.llc_effective / footprint) if footprint else 1.0
         if u < p_l1:
-            counters.l1_hits += 1
+            h.l1_hits.value += 1
             return params.l1_hit_cycles, 0.0
         if u < p_l2:
-            counters.l2_hits += 1
+            h.l2_hits.value += 1
             return params.l2_hit_cycles, 0.0
-        counters.llc_loads += 1
+        h.llc_loads.value += 1
         if u < p_llc:
-            counters.llc_hits += 1
+            h.llc_hits.value += 1
             return 0.0, params.llc_hit_ns / params.random_access_mlp
-        counters.llc_misses += 1
+        h.llc_misses.value += 1
         return 0.0, params.dram_ns / params.random_access_mlp
 
     def prefetch(self, core: int, addr: int, size: int = 64) -> float:
@@ -182,7 +182,7 @@ class MemorySystem:
         last_line = (addr + size - 1) // line
         for line_addr in range(first_line, last_line + 1):
             self.hierarchy.dma_write(line_addr)
-        self.counters[0].ddio_fills += last_line - first_line + 1
+        self.counters[0].handles.ddio_fills.value += last_line - first_line + 1
 
     def dma_read(self, addr: int, size: int) -> None:
         """NIC reads ``size`` bytes for transmission (no core-side cost)."""
@@ -191,6 +191,15 @@ class MemorySystem:
             self.hierarchy.dma_read(line_addr)
 
     # -- housekeeping ---------------------------------------------------------------
+
+    def registry_for(self, core: int):
+        """The per-core counter registry backing ``counters[core]``.
+
+        A build mounts this under ``cpu.`` in its own registry so the
+        cache model's live handles and the build's telemetry read the
+        same cells.
+        """
+        return self.counters[core].registry
 
     def reset_counters(self) -> None:
         for counters in self.counters:

@@ -74,6 +74,25 @@ def line_chart(
     return "\n".join(lines)
 
 
+def result_chart(result, x: str, y: str, group: str = "variant",
+                 width: int = 64, height: int = 16, title: str = "") -> str:
+    """Chart any :class:`repro.experiments.result.ExperimentResult`.
+
+    Pivots the result's flat ``points`` into per-``group`` series and
+    renders them with :func:`line_chart` -- no per-figure shape knowledge
+    needed (``result_chart(fig06.run(scale), "size", "gbps")``).
+    """
+    series = result.series(x, y, group)
+    return line_chart(
+        series,
+        width=width,
+        height=height,
+        title=title or "%s: %s vs %s" % (result.name, y, x),
+        x_label=x,
+        y_label=y,
+    )
+
+
 def bar_chart(labels: Sequence[str], values: Sequence[float],
               width: int = 50, title: str = "", unit: str = "") -> str:
     """Horizontal bar chart with value annotations."""

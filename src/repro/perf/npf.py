@@ -35,6 +35,8 @@ class Variable:
 class TestResult:
     """All repeats of one grid point."""
 
+    __test__ = False  # not a pytest case, despite the Test* name
+
     point: Dict[str, object]
     metrics: Dict[str, List[float]] = field(default_factory=dict)
 

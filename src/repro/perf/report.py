@@ -14,32 +14,24 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.click.driver import RunStats
+from repro.telemetry.ledger import (
+    HW_DETAIL_NAMES,
+    LEDGER_FIELDS,
+    ledger_from_stats,
+)
 
 HEALTHY = "healthy"
 FAULT_DEGRADED = "fault-degraded"
 
-#: Ledger entries that mark a run as degraded, with display labels.
-_DROP_FIELDS = (
-    ("rx_nombuf", "RX alloc failures (rx_nombuf)"),
-    ("imissed", "no-descriptor drops (imissed)"),
-    ("rx_errors", "damaged frames dropped (rx_errors)"),
-    ("tx_full", "TX backpressure refusals (tx_full)"),
-    ("element_errors", "element error-boundary incidents"),
-    ("watchdog_resets", "watchdog recoveries"),
-)
+#: Ledger entries that mark a run as degraded, with display labels --
+#: the single schema from repro.telemetry.ledger.
+_DROP_FIELDS = LEDGER_FIELDS
 
 
 def _ledger(source: Union[RunStats, Dict[str, int]]) -> Dict[str, int]:
     """Normalize a RunStats or counter snapshot into the drop ledger."""
     if isinstance(source, RunStats):
-        return {
-            "rx_nombuf": source.rx_nombuf,
-            "imissed": source.imissed,
-            "rx_errors": source.rx_errors,
-            "tx_full": source.tx_full,
-            "element_errors": source.error_batches,
-            "watchdog_resets": source.watchdog_resets,
-        }
+        return ledger_from_stats(source)
     return {name: int(source.get(name, 0)) for name, _ in _DROP_FIELDS}
 
 
@@ -85,8 +77,27 @@ def format_report(
         for element, count in sorted(stats.errors_by_element.items()):
             lines.append("    error boundary at %-20s %d" % (element + ":", count))
     detail = stats.hw_counters
-    for extra in ("rx_truncated", "rx_corrupt", "link_down_polls",
-                  "cqe_stalls", "rx_underruns"):
+    for extra in HW_DETAIL_NAMES:
         if detail.get(extra):
             lines.append("  %-38s %d" % (extra + ":", detail[extra]))
     return "\n".join(lines)
+
+
+def format_telemetry_report(telemetry, metric: str = "cycles",
+                            window_names=None) -> str:
+    """Render one build's telemetry: attribution, flamegraph, windows.
+
+    ``telemetry`` is the :class:`repro.telemetry.Telemetry` bundle a
+    measured run carries (``run.telemetry``); sections whose recorder
+    was disabled are skipped.
+    """
+    sections = []
+    if telemetry.attribution is not None and telemetry.attribution.buckets():
+        sections.append(telemetry.attribution.format_top(metric))
+    if telemetry.spans is not None and telemetry.spans.folded():
+        sections.append(telemetry.flamegraph())
+    if telemetry.sampler is not None and telemetry.sampler.windows:
+        sections.append(telemetry.sampler.format_table(window_names))
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)

@@ -13,6 +13,17 @@ from typing import List, Sequence
 
 from repro.core.binary import MeasuredRun, SpecializedBinary
 from repro.dpdk.pcie import PcieModel
+from repro.telemetry.registry import merge
+
+
+def aggregate_counters(binaries: Sequence[SpecializedBinary]):
+    """Name-wise sum of every replica's registry snapshot.
+
+    The multicore view of the telemetry registry: per-core counters
+    (``driver.rx_packets``, ``cpu.llc_misses``, ``nic.0.imissed``, ...)
+    merged across replicas, the way ``rte_eth_stats`` aggregates queues.
+    """
+    return merge(b.telemetry.registry.snapshot() for b in binaries)
 
 
 @dataclass

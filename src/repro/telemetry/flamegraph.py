@@ -1,0 +1,108 @@
+"""ASCII flamegraph and ``perf report``-style top views for span data.
+
+Renders the :class:`repro.telemetry.spans.SpanRecorder` aggregation two
+ways:
+
+- :func:`render_flamegraph` -- an indented tree where each stack frame
+  gets a bar proportional to its inclusive time (a flamegraph rotated
+  90 degrees so it survives a terminal);
+- :func:`render_top` -- flat hottest-frames-first, with self/inclusive
+  shares, the way ``perf report --no-children``/``--children`` reads.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Tuple
+
+from repro.telemetry.spans import Path, SpanRecorder
+
+
+def _children(folded: Dict[Path, Tuple[float, int]]):
+    tree: Dict[Path, List[Path]] = {}
+    for path in folded:
+        tree.setdefault(path[:-1], []).append(path)
+    for paths in tree.values():
+        paths.sort(key=lambda p: -folded[p][0])
+    return tree
+
+
+def render_flamegraph(recorder: SpanRecorder, width: int = 40,
+                      min_share: float = 0.001) -> str:
+    """Indented-tree flamegraph; bars scale with inclusive simulated ns."""
+    folded = recorder.folded()
+    if not folded:
+        return "(no spans recorded)"
+    tree = _children(folded)
+    total = recorder.total_ns() or 1.0
+    lines = ["flamegraph (inclusive simulated time)"]
+
+    def emit(path: Path, depth: int) -> None:
+        ns, count = folded[path]
+        share = ns / total
+        if share < min_share:
+            return
+        bar = "#" * max(1, int(round(share * width)))
+        lines.append(
+            "%7.2f%% %-*s %s%s  (%d ns, %d calls)"
+            % (share * 100, width, bar, "  " * depth, path[-1], round(ns), count)
+        )
+        for child in tree.get(path, ()):
+            emit(child, depth + 1)
+
+    for root in tree.get((), ()):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_top(recorder: SpanRecorder, limit: int = 0) -> str:
+    """Flat hottest-first table: self share, inclusive share, frame."""
+    folded = recorder.folded()
+    if not folded:
+        return "(no spans recorded)"
+    self_times = recorder.self_ns()
+    total = recorder.total_ns() or 1.0
+    rows = sorted(folded, key=lambda p: -self_times[p])
+    if limit:
+        rows = rows[:limit]
+    lines = [
+        "span top (by self time)",
+        "%8s %8s %12s %8s  %s" % ("self", "incl", "self_ns", "calls", "stack"),
+    ]
+    for path in rows:
+        ns, count = folded[path]
+        lines.append(
+            "%7.2f%% %7.2f%% %12d %8d  %s"
+            % (
+                self_times[path] / total * 100,
+                ns / total * 100,
+                round(self_times[path]),
+                count,
+                ";".join(path),
+            )
+        )
+    return "\n".join(lines)
+
+
+def spans_to_json(recorder: SpanRecorder) -> str:
+    """JSON export of the folded stacks (records + total)."""
+    return json.dumps(
+        {"total_ns": recorder.total_ns(), "spans": recorder.to_records()},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def spans_to_csv(recorder: SpanRecorder) -> str:
+    """CSV export of the folded stacks."""
+    records = recorder.to_records()
+    out = io.StringIO()
+    writer = csv.DictWriter(
+        out, fieldnames=["stack", "depth", "inclusive_ns", "self_ns", "count"]
+    )
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return out.getvalue()

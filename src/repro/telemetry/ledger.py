@@ -1,0 +1,58 @@
+"""The drop ledger schema, defined once.
+
+Before the registry existed, the list of degraded-path counters --
+``rx_nombuf``, ``imissed``, ``rx_errors``, ``tx_full``, plus the software
+incidents -- was spelled out independently in ``RunStats``,
+``PerfCounters``, and ``repro.perf.report``.  This module is the single
+definition all of them import, so adding a drop source is a one-line
+change that every view picks up.
+"""
+
+from __future__ import annotations
+
+#: Ledger entries that mark a run as fault-degraded, with display labels.
+#: Order matters: reports render in this order.
+LEDGER_FIELDS = (
+    ("rx_nombuf", "RX alloc failures (rx_nombuf)"),
+    ("imissed", "no-descriptor drops (imissed)"),
+    ("rx_errors", "damaged frames dropped (rx_errors)"),
+    ("tx_full", "TX backpressure refusals (tx_full)"),
+    ("element_errors", "element error-boundary incidents"),
+    ("watchdog_resets", "watchdog recoveries"),
+)
+
+#: Just the ledger counter names, in report order.
+LEDGER_NAMES = tuple(name for name, _ in LEDGER_FIELDS)
+
+#: NIC-side ledger entries (mirrored from hardware counters as deltas).
+HW_LEDGER_NAMES = ("rx_nombuf", "imissed", "rx_errors", "tx_full")
+
+#: Second-order NIC detail counters reports append when nonzero.
+HW_DETAIL_NAMES = (
+    "rx_truncated", "rx_corrupt", "link_down_polls", "cqe_stalls",
+    "rx_underruns",
+)
+
+#: How the perf-counter view's ledger fields map onto RunStats attributes:
+#: (PerfCounters field, RunStats attribute).
+RUNSTATS_MIRROR = (
+    ("rx_nombuf", "rx_nombuf"),
+    ("imissed", "imissed"),
+    ("rx_errors", "rx_errors"),
+    ("tx_full", "tx_full"),
+    ("sw_drops", "drops"),
+    ("element_errors", "error_batches"),
+    ("watchdog_resets", "watchdog_resets"),
+)
+
+
+def ledger_from_stats(stats) -> dict:
+    """The drop ledger of a RunStats-shaped object, keyed by ledger name."""
+    return {
+        "rx_nombuf": stats.rx_nombuf,
+        "imissed": stats.imissed,
+        "rx_errors": stats.rx_errors,
+        "tx_full": stats.tx_full,
+        "element_errors": stats.error_batches,
+        "watchdog_resets": stats.watchdog_resets,
+    }

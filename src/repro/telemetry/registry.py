@@ -1,0 +1,221 @@
+"""The counter registry: one source of truth for every statistic.
+
+Counters used to live in three drifting copies -- ``RunStats`` fields,
+``PerfCounters`` fields, and the NICs' xstats dataclass -- hand-mirrored
+into each other at the end of every run.  The registry collapses them:
+each statistic is one :class:`Counter` handle stored under a hierarchical
+dotted name (``cpu.llc_misses``, ``nic.0.imissed``, ``driver.rx_packets``,
+``element.rt.drops``), and the old classes become *views* over the same
+storage.
+
+Handles are deliberately tiny (``__slots__``, direct ``.value`` access)
+so the hardware model's hot loops pay the same cost they paid for plain
+dataclass attributes.  Reading is uniform: :meth:`CounterRegistry.snapshot`
+flattens everything (including mounted sub-registries) into one dict, and
+:meth:`CounterRegistry.match` answers glob queries like ``nic.*.imissed``.
+
+Snapshot/delta semantics: a snapshot is a plain ``{name: value}`` dict;
+:func:`delta` subtracts two of them, which is how the window sampler and
+the driver's hardware-counter mirroring express "since the last reset".
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Monotonically non-decreasing event count (perf-style).
+COUNTER = "counter"
+#: Point-in-time level (queue depth, window rate); may move both ways.
+GAUGE = "gauge"
+
+_GLOB_CHARS = frozenset("*?[")
+
+
+def is_glob(pattern: str) -> bool:
+    """Whether ``pattern`` contains glob metacharacters."""
+    return bool(_GLOB_CHARS.intersection(pattern))
+
+
+class TelemetryError(ValueError):
+    """Registry misuse: kind mismatch or non-monotone counter update."""
+
+
+class Counter:
+    """One named statistic.  The handle *is* the storage.
+
+    Hot paths (the cache model, the PMDs) keep a direct reference and
+    bump ``handle.value`` -- everything else reads the same cell through
+    the registry, so there is nothing to mirror and nothing to drift.
+    """
+
+    __slots__ = ("name", "kind", "value")
+
+    def __init__(self, name: str, kind: str = COUNTER, value: Number = 0):
+        self.name = name
+        self.kind = kind
+        self.value = value
+
+    def add(self, n: Number = 1) -> None:
+        """Increment; counters reject negative steps (monotonicity)."""
+        if n < 0 and self.kind == COUNTER:
+            raise TelemetryError(
+                "counter %r is monotone; cannot add %r" % (self.name, n)
+            )
+        self.value += n
+
+    def set(self, value: Number) -> None:
+        """Overwrite the value (gauges, resets, and ledger mirroring)."""
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Counter(%r, %s=%r)" % (self.name, self.kind, self.value)
+
+
+class CounterRegistry:
+    """Hierarchical, dot-named counter store with mounts and glob reads."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._mounts: Dict[str, "CounterRegistry"] = {}
+
+    # -- creation / access ---------------------------------------------------
+
+    def counter(self, name: str, kind: str = COUNTER) -> Counter:
+        """Get or create the handle for ``name`` (kind-checked)."""
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return mounted.counter(name[len(prefix) + 1:], kind)
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name, kind)
+        elif handle.kind != kind:
+            raise TelemetryError(
+                "counter %r is a %s, requested as %s" % (name, handle.kind, kind)
+            )
+        return handle
+
+    def gauge(self, name: str) -> Counter:
+        return self.counter(name, GAUGE)
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        """Current value of ``name`` (mounts resolved), or ``default``."""
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return mounted.get(name[len(prefix) + 1:], default)
+        handle = self._counters.get(name)
+        return default if handle is None else handle.value
+
+    def __contains__(self, name: str) -> bool:
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return name[len(prefix) + 1:] in mounted
+        return name in self._counters
+
+    # -- composition ---------------------------------------------------------
+
+    def mount(self, prefix: str, registry: "CounterRegistry") -> None:
+        """Expose another registry's counters under ``prefix.``.
+
+        Mounting is how one per-binary registry unifies storage that is
+        created elsewhere (the shared memory system's per-core counters)
+        without migrating live handles.
+        """
+        if not prefix or is_glob(prefix):
+            raise TelemetryError("mount prefix must be a literal name")
+        self._mounts[prefix] = registry
+
+    # -- reading -------------------------------------------------------------
+
+    def names(self, pattern: Optional[str] = None) -> List[str]:
+        """All counter names (mounts flattened), sorted, optionally globbed."""
+        out = list(self._counters)
+        for prefix, mounted in self._mounts.items():
+            out.extend(prefix + "." + name for name in mounted.names())
+        if pattern is not None:
+            out = [name for name in out if fnmatchcase(name, pattern)]
+        return sorted(out)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return mounted.kind_of(name[len(prefix) + 1:])
+        handle = self._counters.get(name)
+        return None if handle is None else handle.kind
+
+    def snapshot(self, pattern: Optional[str] = None) -> Dict[str, Number]:
+        """Flattened ``{name: value}`` view, optionally glob-filtered."""
+        return {name: self.get(name) for name in self.names(pattern)}
+
+    def match(self, pattern: str) -> Dict[str, Number]:
+        """Glob read: ``registry.match("nic.*.imissed")``."""
+        return self.snapshot(pattern)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every counter under ``prefix`` (all, when empty)."""
+        for name, handle in self._counters.items():
+            if name.startswith(prefix):
+                handle.reset()
+        for mount_prefix, mounted in self._mounts.items():
+            if not prefix:
+                mounted.reset()
+            elif prefix.startswith(mount_prefix + "."):
+                mounted.reset(prefix[len(mount_prefix) + 1:])
+            elif (mount_prefix + ".").startswith(prefix):
+                mounted.reset()
+
+    def scope(self, prefix: str) -> "CounterScope":
+        return CounterScope(self, prefix)
+
+
+class CounterScope:
+    """A prefixed window onto a registry (one element's, one NIC's)."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: CounterRegistry, prefix: str):
+        if prefix and not prefix.endswith("."):
+            prefix += "."
+        self.registry = registry
+        self.prefix = prefix
+
+    def counter(self, name: str, kind: str = COUNTER) -> Counter:
+        return self.registry.counter(self.prefix + name, kind)
+
+    def gauge(self, name: str) -> Counter:
+        return self.registry.gauge(self.prefix + name)
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        return self.registry.get(self.prefix + name, default)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Scope-local names (prefix stripped), sorted."""
+        strip = len(self.prefix)
+        return {
+            name[strip:]: value
+            for name, value in self.registry.snapshot(self.prefix + "*").items()
+        }
+
+    def reset(self) -> None:
+        self.registry.reset(self.prefix)
+
+
+def delta(new: Dict[str, Number], old: Dict[str, Number]) -> Dict[str, Number]:
+    """Per-name difference of two snapshots (names absent from ``old`` = 0)."""
+    return {name: value - old.get(name, 0) for name, value in new.items()}
+
+
+def merge(snapshots: Iterable[Dict[str, Number]]) -> Dict[str, Number]:
+    """Sum snapshots name-wise (aggregating multiple cores/ports)."""
+    total: Dict[str, Number] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            total[name] = total.get(name, 0) + value
+    return total

@@ -1,0 +1,110 @@
+"""Packet-lifecycle trace spans over the simulated clock.
+
+A span brackets one stage of a batch's life -- ``iteration`` >
+``pmd.rx`` > ``dma`` / ``convert``, then one nested span per element the
+batch traverses, then ``pmd.tx``.  Because spans nest along the actual
+pipeline path, the aggregated stacks *are* the flamegraph of the network
+function: ``iteration;element.c;element.rt;element.output``.
+
+The recorder aggregates on pop (total simulated ns + count per unique
+stack), so memory stays bounded no matter how long the run is; the raw
+event stream is not kept.  Time comes from a bound clock callable
+(``cpu.elapsed_ns``), which advances only when the hardware model charges
+cost -- recording perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+Path = Tuple[str, ...]
+
+
+class SpanRecorder:
+    """Stack-structured span aggregation (folded-stacks style)."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock
+        self._stack: List[Tuple[str, float]] = []
+        #: path -> [inclusive_ns, count]
+        self._agg: Dict[Path, List[float]] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+
+    # -- recording ------------------------------------------------------------
+
+    def push(self, name: str) -> None:
+        self._stack.append((name, self.clock()))
+
+    def pop(self) -> None:
+        name, start = self._stack.pop()
+        path = tuple(frame for frame, _ in self._stack) + (name,)
+        entry = self._agg.get(path)
+        if entry is None:
+            entry = self._agg[path] = [0.0, 0]
+        entry[0] += self.clock() - start
+        entry[1] += 1
+
+    def pop_n(self, n: int) -> None:
+        for _ in range(n):
+            self.pop()
+
+    @contextmanager
+    def span(self, name: str):
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    def reset(self) -> None:
+        self._stack = []
+        self._agg = {}
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def folded(self) -> Dict[Path, Tuple[float, int]]:
+        """``{stack_path: (inclusive_ns, count)}`` for every recorded stack."""
+        return {path: (ns, int(count)) for path, (ns, count) in self._agg.items()}
+
+    def self_ns(self) -> Dict[Path, float]:
+        """Exclusive time per stack: inclusive minus direct children."""
+        out = {path: ns for path, (ns, _) in self._agg.items()}
+        for path, (ns, _) in self._agg.items():
+            parent = path[:-1]
+            if parent in out:
+                out[parent] -= ns
+        return out
+
+    def total_ns(self) -> float:
+        """Inclusive time of all root spans."""
+        return sum(ns for path, (ns, _) in self._agg.items() if len(path) == 1)
+
+    def to_folded_text(self) -> str:
+        """``a;b;c <ns>`` lines -- the flamegraph.pl/speedscope input format."""
+        lines = []
+        for path in sorted(self._agg):
+            ns, _ = self._agg[path]
+            lines.append("%s %d" % (";".join(path), round(ns)))
+        return "\n".join(lines)
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Flat JSON/CSV-ready records, one per unique stack."""
+        self_times = self.self_ns()
+        out = []
+        for path in sorted(self._agg):
+            ns, count = self._agg[path]
+            out.append({
+                "stack": ";".join(path),
+                "depth": len(path),
+                "inclusive_ns": ns,
+                "self_ns": self_times[path],
+                "count": int(count),
+            })
+        return out

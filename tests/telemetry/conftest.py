@@ -1,0 +1,33 @@
+"""Shared builders for the telemetry suite."""
+
+import pytest
+
+from repro.core.nfs import forwarder, router
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.telemetry import TelemetryConfig
+
+
+def build(config=None, telemetry=True, options=None, faults=None,
+          params=None, seed=0):
+    """A vanilla build with telemetry recorders on by default."""
+    if telemetry is True:
+        telemetry = TelemetryConfig()
+    return PacketMill(
+        config or forwarder(),
+        options or BuildOptions.vanilla(),
+        params=params or MachineParams(),
+        seed=seed,
+        faults=faults,
+        telemetry=telemetry,
+    ).build()
+
+
+def build_router(**kwargs):
+    return build(config=router(), **kwargs)
+
+
+@pytest.fixture
+def builder():
+    return build

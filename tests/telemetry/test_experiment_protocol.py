@@ -1,0 +1,91 @@
+"""Every experiment result speaks the common ExperimentResult protocol."""
+
+import json
+
+import pytest
+
+from repro.experiments import ablations, fig06, fig07, table1
+from repro.experiments.result import ExperimentResult, series_points
+from repro.perf.ascii import result_chart
+
+pytestmark = pytest.mark.telemetry
+
+
+def fig06_result():
+    return fig06.Fig06Result(
+        sizes=[64, 1500],
+        gbps={"Vanilla": [10.0, 40.0], "PacketMill": [15.0, 48.0]},
+        mpps={"Vanilla": [14.9, 3.3], "PacketMill": [22.3, 4.0]},
+        bound_by={"Vanilla": ["cpu", "link"], "PacketMill": ["cpu", "link"]},
+    )
+
+
+class TestProtocol:
+    def test_every_result_class_adopts_the_mixin(self):
+        from repro.experiments import (
+            fig01, fig04, fig05, fig08, fig09, fig10, fig11,
+        )
+
+        classes = [
+            fig01.Fig01Result, fig04.Fig04Result, fig05.Fig05Result,
+            fig06.Fig06Result, fig07.Fig07Result, fig08.Fig08Result,
+            fig09.Fig09Result, fig10.Fig10Result, fig11.Fig11Result,
+            table1.Table1Result, ablations.AblationResult,
+        ]
+        for cls in classes:
+            assert issubclass(cls, ExperimentResult), cls.__name__
+
+    def test_points_are_flat_records(self):
+        result = fig06_result()
+        assert result.name == "fig06"
+        assert result.params == {"sizes": [64, 1500]}
+        assert result.points[0] == {
+            "variant": "Vanilla", "size": 64,
+            "gbps": 10.0, "mpps": 14.9, "bound_by": "cpu",
+        }
+        assert len(result.points) == 4
+
+    def test_to_json_round_trips(self):
+        doc = json.loads(fig06_result().to_json())
+        assert doc["name"] == "fig06"
+        assert len(doc["points"]) == 4
+
+    def test_fig07_surface_flattens_with_sorted_keys(self):
+        result = fig07.Fig07Result(
+            footprints_mb=[1.0], work_numbers=[4],
+            surface={(5, 1.0, 4): (8.0, 30.0), (1, 1.0, 4): (10.0, 25.0)},
+        )
+        assert result.points == [
+            {"n_accesses": 1, "footprint_mb": 1.0, "work": 4,
+             "vanilla_gbps": 10.0, "improvement_pct": 25.0},
+            {"n_accesses": 5, "footprint_mb": 1.0, "work": 4,
+             "vanilla_gbps": 8.0, "improvement_pct": 30.0},
+        ]
+        json.loads(result.to_json())
+
+    def test_ablation_result_keeps_its_own_name(self):
+        result = ablations.AblationResult("devirt", [{"variant": "a", "gbps": 1.0}])
+        assert result.name == "devirt"
+        assert result.points == result.rows
+        assert result.points is not result.rows
+
+    def test_series_pivots_points(self):
+        series = fig06_result().series("size", "gbps")
+        assert series["Vanilla"] == ([64, 1500], [10.0, 40.0])
+
+    def test_series_points_skips_missing_columns(self):
+        points = series_points("x", [1, 2], {
+            "a": {"v": [10, 20]},
+            "b": {"v": [5]},  # ragged: second value missing
+        })
+        assert points == [
+            {"variant": "v", "x": 1, "a": 10, "b": 5},
+            {"variant": "v", "x": 2, "a": 20},
+        ]
+
+
+class TestChart:
+    def test_result_chart_needs_no_shape_knowledge(self):
+        chart = result_chart(fig06_result(), "size", "gbps")
+        assert "fig06: gbps vs size" in chart
+        assert "x Vanilla" in chart and "o PacketMill" in chart

@@ -1,0 +1,136 @@
+"""SpanRecorder: nesting, folded stacks, rendering, exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.nfs import router
+from repro.telemetry.flamegraph import (
+    render_flamegraph,
+    render_top,
+    spans_to_csv,
+    spans_to_json,
+)
+from repro.telemetry.spans import SpanRecorder
+
+from tests.telemetry.conftest import build
+
+pytestmark = pytest.mark.telemetry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def recorded():
+    """iteration(0..100) > a(10..40) > b(15..35), then a again(50..70)."""
+    clock = FakeClock()
+    recorder = SpanRecorder(clock)
+    recorder.push("iteration")
+    clock.now = 10.0
+    recorder.push("a")
+    clock.now = 15.0
+    recorder.push("b")
+    clock.now = 35.0
+    recorder.pop()
+    clock.now = 40.0
+    recorder.pop()
+    clock.now = 50.0
+    recorder.push("a")
+    clock.now = 70.0
+    recorder.pop()
+    clock.now = 100.0
+    recorder.pop()
+    return recorder
+
+
+class TestAggregation:
+    def test_folded_stacks_aggregate_by_path(self):
+        recorder = recorded()
+        folded = recorder.folded()
+        assert folded[("iteration",)] == (100.0, 1)
+        assert folded[("iteration", "a")] == (50.0, 2)
+        assert folded[("iteration", "a", "b")] == (20.0, 1)
+        assert recorder.total_ns() == 100.0
+        assert recorder.depth == 0
+
+    def test_self_time_subtracts_direct_children(self):
+        self_ns = recorded().self_ns()
+        assert self_ns[("iteration",)] == pytest.approx(50.0)
+        assert self_ns[("iteration", "a")] == pytest.approx(30.0)
+        assert self_ns[("iteration", "a", "b")] == pytest.approx(20.0)
+
+    def test_span_contextmanager_pops_on_error(self):
+        clock = FakeClock()
+        recorder = SpanRecorder(clock)
+        with pytest.raises(RuntimeError):
+            with recorder.span("x"):
+                clock.now = 5.0
+                raise RuntimeError("boom")
+        assert recorder.depth == 0
+        assert recorder.folded()[("x",)] == (5.0, 1)
+
+    def test_pop_n_and_reset(self):
+        clock = FakeClock()
+        recorder = SpanRecorder(clock)
+        recorder.push("a")
+        recorder.push("b")
+        recorder.pop_n(2)
+        assert recorder.depth == 0
+        recorder.reset()
+        assert recorder.folded() == {}
+
+    def test_folded_text_format(self):
+        text = recorded().to_folded_text()
+        assert "iteration;a;b 20" in text.splitlines()
+
+
+class TestRendering:
+    def test_flamegraph_nests_and_scales(self):
+        out = render_flamegraph(recorded())
+        lines = out.splitlines()
+        assert lines[0].startswith("flamegraph")
+        assert "iteration" in lines[1] and "100.00%" in lines[1]
+        # Children are indented under their parent, hottest first.
+        assert lines[2].index("a") > lines[1].index("iteration")
+        assert "(no spans recorded)" == render_flamegraph(SpanRecorder(FakeClock()))
+
+    def test_top_sorts_by_self_time(self):
+        out = render_top(recorded())
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("iteration")
+        assert "50.00%" in rows[0]
+
+    def test_json_and_csv_exports(self):
+        recorder = recorded()
+        doc = json.loads(spans_to_json(recorder))
+        assert doc["total_ns"] == 100.0
+        stacks = {record["stack"]: record for record in doc["spans"]}
+        assert stacks["iteration;a"]["count"] == 2
+        rows = list(csv.DictReader(io.StringIO(spans_to_csv(recorder))))
+        assert rows[0]["stack"] == "iteration"
+        assert float(rows[0]["inclusive_ns"]) == 100.0
+
+
+class TestDriverIntegration:
+    def test_run_records_the_pipeline_shape(self):
+        binary = build(config=router())
+        binary.driver.run_batches(30)
+        recorder = binary.telemetry.spans
+        paths = set(recorder.folded())
+        assert ("iteration",) in paths
+        assert ("iteration", "pmd.rx") in paths
+        assert ("iteration", "pmd.rx", "dma") in paths
+        assert ("iteration", "pmd.rx", "convert") in paths
+        # At least one per-element span nested under the iteration.
+        element_frames = {p for p in paths if len(p) >= 2 and p[1] not in ("pmd.rx", "pmd.tx")}
+        assert element_frames
+        assert recorder.depth == 0
+        # The flamegraph of a real run renders without error.
+        assert "iteration" in binary.telemetry.flamegraph()

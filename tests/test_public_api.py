@@ -46,6 +46,10 @@ class TestPackageLayering:
     """Lower layers must not import upper layers (the DESIGN.md stack)."""
 
     @pytest.mark.parametrize("lower,upper", [
+        ("repro.telemetry", "repro.hw"),
+        ("repro.telemetry", "repro.dpdk"),
+        ("repro.telemetry", "repro.click"),
+        ("repro.telemetry", "repro.core"),
         ("repro.net", "repro.hw"),
         ("repro.hw", "repro.dpdk"),
         ("repro.compiler", "repro.click"),
