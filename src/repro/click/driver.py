@@ -16,13 +16,14 @@ Costs are charged from three sources per element visit:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.click.element import Element
 from repro.click.graph import ProcessingGraph
 from repro.compiler.lower import ExecProgram
-from repro.compiler.runtime import Bindings, execute
+from repro.compiler.runtime import execute_bases
 from repro.dpdk.mempool import MempoolEmptyError
 from repro.telemetry import Telemetry
 from repro.telemetry.attribution import DRIVER_BUCKET
@@ -34,6 +35,9 @@ DISPATCH_INLINE = "inline"
 
 #: Indirect-call misprediction odds per batch hop in a dynamic graph.
 VIRTUAL_CALL_MISS = 0.45
+
+#: Route-cache miss sentinel (``None`` is a legal route: "drop").
+_NO_ROUTE = object()
 
 
 @dataclass(frozen=True)
@@ -267,6 +271,7 @@ class RouterDriver:
         injector=None,
         watchdog=None,
         telemetry: Optional[Telemetry] = None,
+        fastpath: Optional[bool] = None,
     ):
         self.graph = graph
         self.cpu = cpu
@@ -288,6 +293,25 @@ class RouterDriver:
         self.sampler = telemetry.sampler
         self.spans = telemetry.spans
         self.stats = RunStats(self.registry)
+        # Packet-class fast path: memoize the routing decision of pure
+        # classification elements by class signature (the header bytes
+        # they actually read).  Charges are never replayed -- only the
+        # Python-level re-evaluation of process() is skipped -- so the
+        # simulated run is bit-identical.  It self-disables whenever the
+        # run is instrumented (fault injection, watchdog recovery, or
+        # telemetry recorders), where packets must stay individually
+        # observable end to end.
+        if fastpath is None:
+            fastpath = os.environ.get("REPRO_FASTPATH", "").lower() not in (
+                "0", "false", "off", "no",
+            )
+        self.fastpath = bool(
+            fastpath
+            and injector is None
+            and watchdog is None
+            and not telemetry.enabled
+        )
+        self._route_cache: Dict[str, Dict] = {}
         self._hw_base: Dict[str, int] = {}
         self.rx_elements: List[Element] = []
         self.queue_elements: List[Element] = [
@@ -389,17 +413,11 @@ class RouterDriver:
             cpu = self.cpu
             for pkt in batch:
                 ref = pkt.mbuf
-                execute(
-                    cpu,
-                    program,
-                    Bindings(
-                        packet_meta=ref.meta_addr if ref else 0,
-                        packet_mbuf=ref.mbuf_addr if ref else 0,
-                        descriptor=ref.cqe_addr if ref else 0,
-                        data=ref.data_addr if ref else 0,
-                        state=state,
-                    ),
-                )
+                if ref is not None:
+                    execute_bases(cpu, program, ref.meta_addr, ref.mbuf_addr,
+                                  ref.cqe_addr, ref.data_addr, state)
+                else:
+                    execute_bases(cpu, program, 0, 0, 0, 0, state)
         finally:
             # Attribute even a partial (raising) charge to the element --
             # the marks must tile the run for the totals to conserve.
@@ -431,10 +449,22 @@ class RouterDriver:
                     return
                 out: Dict[int, List] = {}
                 clones = getattr(element, "clones_packets", False)
+                routes = None
+                if self.fastpath and getattr(element, "pure_process", False):
+                    routes = self._route_cache.get(element.name)
+                    if routes is None:
+                        routes = self._route_cache[element.name] = {}
                 failed_at = None
                 for i, pkt in enumerate(batch):
                     try:
-                        port = element.process(pkt)
+                        if routes is None:
+                            port = element.process(pkt)
+                        else:
+                            signature = element.route_signature(pkt)
+                            port = routes.get(signature, _NO_ROUTE)
+                            if port is _NO_ROUTE:
+                                port = element.process(pkt)
+                                routes[signature] = port
                     except Exception:
                         failed_at = i
                         break

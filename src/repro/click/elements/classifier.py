@@ -23,6 +23,10 @@ class Classifier(Element):
 
     class_name = "Classifier"
 
+    #: process() only reads packet bytes -- eligible for the driver's
+    #: packet-class fast path (route memoized by signature).
+    pure_process = True
+
     def configure(self, args, kwargs):
         if not args:
             raise ElementConfigError("Classifier needs at least one pattern")
@@ -40,6 +44,12 @@ class Classifier(Element):
                     raise ElementConfigError("bad classifier term %r" % term) from None
             self.patterns.append(terms)
         self.n_outputs = len(self.patterns)
+        # The byte span the patterns inspect: packets identical over it
+        # are one class and classify identically.
+        offsets = [o for terms in self.patterns for o, v in terms]
+        ends = [o + len(v) for terms in self.patterns for o, v in terms]
+        self._sig_lo = min(offsets) if offsets else 0
+        self._sig_hi = max(ends) if ends else 0
         for i in range(self.n_outputs):
             self.declare_param("pattern%d" % i, args[i])
 
@@ -54,6 +64,10 @@ class Classifier(Element):
             if matched:
                 return port
         return None
+
+    def route_signature(self, pkt):
+        """The inspected bytes; equal signatures classify identically."""
+        return bytes(pkt.data()[self._sig_lo:self._sig_hi])
 
     def ir_program(self) -> Program:
         # Constant embedding compiles the pattern table into immediate
@@ -76,6 +90,9 @@ class IPClassifier(Element):
     """Protocol-based classifier: patterns among tcp | udp | icmp | ip | -."""
 
     class_name = "IPClassifier"
+
+    #: Reads only the IPv4 protocol byte; fast-path eligible.
+    pure_process = True
 
     _PROTOS = {"tcp": IP_PROTO_TCP, "udp": IP_PROTO_UDP, "icmp": IP_PROTO_ICMP}
 
@@ -101,6 +118,10 @@ class IPClassifier(Element):
             if rule is None or proto == rule:
                 return port
         return None
+
+    def route_signature(self, pkt):
+        """The protocol byte fully determines the routing decision."""
+        return pkt.ip().proto
 
     def ir_program(self) -> Program:
         ops = [DataAccess(23, 1)]  # the IPv4 protocol byte

@@ -139,6 +139,17 @@ def _class_handlers(element) -> Dict[str, Handler]:
     return handlers
 
 
+#: Virtual handler prefix exposing the process-wide execution caches
+#: (build/trace/point memoization) alongside the per-element handlers.
+EXEC_CACHE_PREFIX = "exec.cache."
+
+
+def _exec_cache_counters() -> Dict[str, int]:
+    from repro.exec import cache as exec_cache
+
+    return exec_cache.stats()
+
+
 class HandlerBroker:
     """Resolve and call ``element.handler`` paths on a live graph."""
 
@@ -182,6 +193,15 @@ class HandlerBroker:
             return "\n".join(
                 "%s: %s" % (full, value) for full, value in matches.items()
             )
+        if path.startswith(EXEC_CACHE_PREFIX):
+            counters = _exec_cache_counters()
+            name = path[len(EXEC_CACHE_PREFIX):]
+            if name not in counters:
+                raise HandlerError(
+                    "no exec-cache counter %r; available: %s"
+                    % (name, ", ".join(sorted(counters)))
+                )
+            return str(counters[name])
         element, handler = self._split(path)
         if not handler.readable:
             raise HandlerError("handler %r is not readable" % path)
@@ -190,6 +210,11 @@ class HandlerBroker:
     def read_many(self, pattern: str) -> Dict[str, str]:
         """Glob read: ``{element.handler: value}`` for readable matches."""
         out: Dict[str, str] = {}
+        counters = _exec_cache_counters()
+        for cname in sorted(counters):
+            full = EXEC_CACHE_PREFIX + cname
+            if fnmatchcase(full, pattern):
+                out[full] = str(counters[cname])
         for name in sorted(self.graph.elements):
             element = self.graph.elements[name]
             for hname, handler in sorted(self._handlers_of(element).items()):

@@ -9,7 +9,7 @@ counter snapshots).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.click.driver import RouterDriver, RunStats
@@ -30,8 +30,11 @@ class MeasuredRun:
     counters: dict
     #: The driver's full RunStats (drop ledger included), when available.
     stats: Optional[RunStats] = None
-    #: The build's repro.telemetry.Telemetry bundle, when available.
-    telemetry: Optional[object] = None
+    #: The build's repro.telemetry.Telemetry bundle, when available.  A
+    #: live handle into the registry, not a measurement -- two runs with
+    #: identical numbers must compare equal regardless of which bundle
+    #: produced them.
+    telemetry: Optional[object] = field(default=None, compare=False)
 
     @property
     def ns_per_packet(self) -> float:

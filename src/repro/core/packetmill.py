@@ -41,6 +41,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.faults.watchdog import DEFAULT_THRESHOLD, Watchdog
 from repro.dpdk.xchg_api import fastclick_conversions
+from repro.exec import cache as exec_cache
 from repro.hw.cpu import CpuCore
 from repro.hw.layout import AddressSpace
 from repro.hw.memory import MemorySystem
@@ -56,7 +57,9 @@ class BuildError(RuntimeError):
 
 
 def _default_trace_factory(port: int, core: int):
-    return CampusTraceGenerator(TraceSpec(seed=101 + 13 * port + 7 * core))
+    return exec_cache.trace_from_spec(
+        "campus", None, TraceSpec(seed=101 + 13 * port + 7 * core)
+    )
 
 
 class PacketMill:
@@ -150,7 +153,6 @@ class PacketMill:
         # Disjoint per-core address ranges: replicas share the LLC but must
         # not alias each other's lines.
         space = AddressSpace(seed=self.seed + core_id, offset=core_id << 36)
-        registry = LayoutRegistry()
 
         model = self._make_model()
         if options.reorder_metadata and not model.reorder_allowed:
@@ -170,7 +172,6 @@ class PacketMill:
                     % (model.name, ", ".join(holders))
                 )
         model.setup(space, params)
-        model.register_layouts(registry)
 
         # -- element state allocation (static graph vs. scattered heap) -----
         elements = graph.all_elements()
@@ -182,17 +183,31 @@ class PacketMill:
                 element.state_region = space.alloc_heap(element.name, size)
 
         # -- IR passes over the whole program ---------------------------------
+        # The compile half is a pure function of (config, options, params
+        # sans frequency); the registry and lowered programs are immutable
+        # once built, so replica builds and sweep siblings share them.
         pass_manager = self._element_pass_manager()
-        element_ir = {e.name: pass_manager.run(e.ir_program()) for e in elements}
-        if options.reorder_metadata:
-            whole_program = list(element_ir.values()) + [
-                model.rx_program(), model.tx_program(),
-            ]
-            reorder_metadata(whole_program, registry, struct="Packet")
-
-        exec_programs = {
-            name: lower(program, registry) for name, program in element_ir.items()
-        }
+        cached = exec_cache.lookup_build(self.config, options, params)
+        if cached is None:
+            registry = LayoutRegistry()
+            model.register_layouts(registry)
+            element_ir = {
+                e.name: pass_manager.run(e.ir_program()) for e in elements
+            }
+            if options.reorder_metadata:
+                whole_program = list(element_ir.values()) + [
+                    model.rx_program(), model.tx_program(),
+                ]
+                reorder_metadata(whole_program, registry, struct="Packet")
+            exec_programs = {
+                name: lower(program, registry)
+                for name, program in element_ir.items()
+            }
+            exec_cache.store_build(
+                self.config, options, params, registry, exec_programs
+            )
+        else:
+            registry, exec_programs = cached
 
         # -- NICs and PMDs (one queue per port on this core) -------------------
         ports = sorted(

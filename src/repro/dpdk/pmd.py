@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.compiler.lower import ExecProgram, lower
 from repro.compiler.passes import inline_calls, profile_guided, vectorize
-from repro.compiler.runtime import Bindings, execute
+from repro.compiler.runtime import execute_bases
 from repro.compiler.structlayout import LayoutRegistry
 from repro.dpdk.mempool import MempoolEmptyError
 from repro.dpdk.metadata import MetadataModel
@@ -117,16 +117,8 @@ class MlxPmd:
                 self.cpu.prefetch(ref.mbuf_addr, 128)
             self.cpu.prefetch(ref.meta_addr, 128)
             self.cpu.prefetch(ref.data_addr, 128)
-            execute(
-                self.cpu,
-                self.rx_exec,
-                Bindings(
-                    packet_meta=ref.meta_addr,
-                    packet_mbuf=ref.mbuf_addr,
-                    descriptor=ref.cqe_addr,
-                    data=ref.data_addr,
-                ),
-            )
+            execute_bases(self.cpu, self.rx_exec, ref.meta_addr,
+                          ref.mbuf_addr, ref.cqe_addr, ref.data_addr, 0)
             pkt.mbuf = ref
             out.append(pkt)
         if spans is not None:
@@ -156,16 +148,8 @@ class MlxPmd:
                 self.nic.counters.tx_full += len(packets) - sent
                 break
             wqe_addr = self.nic.transmit(ref, len(pkt))
-            execute(
-                self.cpu,
-                self.tx_exec,
-                Bindings(
-                    packet_meta=ref.meta_addr,
-                    packet_mbuf=ref.mbuf_addr,
-                    descriptor=wqe_addr,
-                    data=ref.data_addr,
-                ),
-            )
+            execute_bases(self.cpu, self.tx_exec, ref.meta_addr,
+                          ref.mbuf_addr, wqe_addr, ref.data_addr, 0)
             sent += 1
         self.cpu.charge_ns(DOORBELL_NS)
         for ref in self.nic.reap_tx(TX_FREE_THRESHOLD):

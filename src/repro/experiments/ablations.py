@@ -20,23 +20,20 @@ from typing import Dict, List
 
 from repro.core.nfs import forwarder
 from repro.core.options import BuildOptions, MetadataModel
-from repro.core.packetmill import PacketMill
 from repro.dpdk.xchg_api import fastclick_conversions
+from repro.exec import cache as exec_cache
+from repro.exec.sweep import PointSpec, TraceKey, run_points
 from repro.experiments.result import ExperimentResult
 from repro.hw.params import MachineParams
-from repro.net.trace import FixedSizeTraceGenerator, TraceSpec
-from repro.perf.runner import measure_throughput
+from repro.net.trace import TraceSpec
 
 FRAME = 1024
 FREQ = 2.3
+BATCHES = 160
+WARMUP = 80
 
-
-def _trace(seed=7):
-    return lambda port, core: FixedSizeTraceGenerator(FRAME, TraceSpec(seed=seed))
-
-
-def _measure(binary, batches=160):
-    return measure_throughput(binary, batches=batches, warmup_batches=80)
+#: Every ablation replays the same fixed-size trace on every port/core.
+TRACE = TraceKey("fixed", FRAME, seed=7, per_port=False)
 
 
 @dataclass
@@ -70,12 +67,15 @@ class AblationResult(ExperimentResult):
 def ddio_ways() -> AblationResult:
     """LLC I/O way quota: 1 way starves DMA locality; 8 (the paper's
     setting) keeps packet data cache-resident."""
+    way_counts = (1, 2, 4, 8)
+    specs = [
+        PointSpec(forwarder(), BuildOptions.metadata(MetadataModel.COPYING),
+                  FREQ, BATCHES, WARMUP, trace=TRACE,
+                  params_overrides=(("ddio_ways", ways),))
+        for ways in way_counts
+    ]
     rows = []
-    for ways in (1, 2, 4, 8):
-        params = MachineParams(freq_ghz=FREQ, ddio_ways=ways)
-        binary = PacketMill(forwarder(), BuildOptions.metadata(MetadataModel.COPYING),
-                            params=params, trace=_trace()).build()
-        point = _measure(binary)
+    for ways, point in zip(way_counts, run_points(specs)):
         rows.append({
             "ddio_ways": ways,
             "cpu_mpps": point.cpu_pps / 1e6,
@@ -94,14 +94,17 @@ def check_ddio_ways(result: AblationResult) -> None:
 def burst_size() -> AblationResult:
     """Per-burst overheads amortize with larger bursts, with diminishing
     returns once the poll/doorbell share is negligible."""
-    rows = []
-    for burst in (4, 8, 16, 32, 64, 128):
-        options = dc_replace(BuildOptions.packetmill(), burst=burst)
-        binary = PacketMill(forwarder(burst=burst), options,
-                            params=MachineParams(freq_ghz=FREQ),
-                            trace=_trace(), burst=burst).build()
-        point = _measure(binary)
-        rows.append({"burst": burst, "cpu_mpps": point.cpu_pps / 1e6})
+    bursts = (4, 8, 16, 32, 64, 128)
+    specs = [
+        PointSpec(forwarder(burst=burst),
+                  dc_replace(BuildOptions.packetmill(), burst=burst),
+                  FREQ, BATCHES, WARMUP, trace=TRACE, burst=burst)
+        for burst in bursts
+    ]
+    rows = [
+        {"burst": burst, "cpu_mpps": point.cpu_pps / 1e6}
+        for burst, point in zip(bursts, run_points(specs))
+    ]
     return AblationResult("burst_size", rows)
 
 
@@ -135,7 +138,8 @@ def xchg_meta_buffers() -> AblationResult:
         model.setup(space, params)
         registry = LayoutRegistry()
         model.register_layouts(registry)
-        nic = Nic(params, mem, space, FixedSizeTraceGenerator(FRAME, TraceSpec(seed=2)))
+        nic = Nic(params, mem, space,
+                  exec_cache.trace_from_spec("fixed", FRAME, TraceSpec(seed=2)))
         pmd = MlxPmd(nic, model, cpu, registry, lto=True)
         for _ in range(60):
             pmd.tx_burst(pmd.rx_burst(32))
@@ -165,19 +169,21 @@ def check_xchg_meta_buffers(result: AblationResult) -> None:
 
 def driver_models() -> AblationResult:
     """TinyNF vs. X-Change vs. vectorized/scalar classic DPDK."""
-    rows = []
     cases = [
         ("copying", BuildOptions.metadata(MetadataModel.COPYING)),
         ("copying+vec", BuildOptions(lto=True, vectorized_pmd=True)),
         ("xchange", BuildOptions.metadata(MetadataModel.XCHANGE)),
         ("tinynf", BuildOptions(metadata_model=MetadataModel.TINYNF, lto=True)),
     ]
-    for label, options in cases:
-        binary = PacketMill(forwarder(), options,
-                            params=MachineParams(freq_ghz=FREQ),
-                            trace=_trace()).build()
-        point = _measure(binary)
-        rows.append({"model": label, "cpu_mpps": point.cpu_pps / 1e6})
+    config = forwarder()
+    specs = [
+        PointSpec(config, options, FREQ, BATCHES, WARMUP, trace=TRACE)
+        for _, options in cases
+    ]
+    rows = [
+        {"model": label, "cpu_mpps": point.cpu_pps / 1e6}
+        for (label, _), point in zip(cases, run_points(specs))
+    ]
     return AblationResult("driver_models", rows)
 
 
@@ -190,20 +196,23 @@ def check_driver_models(result: AblationResult) -> None:
 def pgo_stacking() -> AblationResult:
     """PGO on top of each build (the §5 'why not PGO instead' answer:
     it composes, and its margin is BOLT-class, not PacketMill-class)."""
-    rows = []
-    for label, options in [
+    from repro.core.nfs import router
+
+    cases = [
         ("vanilla", BuildOptions.vanilla()),
         ("vanilla+pgo", BuildOptions(pgo=True)),
         ("packetmill", BuildOptions.packetmill()),
         ("packetmill+pgo", dc_replace(BuildOptions.packetmill(), pgo=True)),
-    ]:
-        from repro.core.nfs import router
-
-        binary = PacketMill(router(), options,
-                            params=MachineParams(freq_ghz=FREQ),
-                            trace=_trace()).build()
-        point = _measure(binary)
-        rows.append({"build": label, "cpu_mpps": point.cpu_pps / 1e6})
+    ]
+    config = router()
+    specs = [
+        PointSpec(config, options, FREQ, BATCHES, WARMUP, trace=TRACE)
+        for _, options in cases
+    ]
+    rows = [
+        {"build": label, "cpu_mpps": point.cpu_pps / 1e6}
+        for (label, _), point in zip(cases, run_points(specs))
+    ]
     return AblationResult("pgo_stacking", rows)
 
 

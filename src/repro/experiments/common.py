@@ -7,8 +7,8 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.core.options import BuildOptions
 from repro.core.packetmill import PacketMill
+from repro.exec import cache as exec_cache
 from repro.hw.params import MachineParams
-from repro.net.trace import CampusTraceGenerator, FixedSizeTraceGenerator, TraceSpec
 from repro.perf.runner import ThroughputPoint, measure_throughput
 
 #: The evaluation's DUT nominal frequency.
@@ -58,12 +58,14 @@ FULL = Scale(
 
 
 def campus_trace_factory(seed: int = 101):
-    return lambda port, core: CampusTraceGenerator(TraceSpec(seed=seed + port + 7 * core))
+    return lambda port, core: exec_cache.trace_generator(
+        "campus", None, seed + port + 7 * core
+    )
 
 
 def fixed_trace_factory(frame_len: int, seed: int = 101):
-    return lambda port, core: FixedSizeTraceGenerator(
-        frame_len, TraceSpec(seed=seed + port + 7 * core)
+    return lambda port, core: exec_cache.trace_generator(
+        "fixed", frame_len, seed + port + 7 * core
     )
 
 

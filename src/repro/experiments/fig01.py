@@ -13,12 +13,12 @@ from typing import Dict, List
 
 from repro.core.nfs import router
 from repro.core.options import BuildOptions
+from repro.exec.sweep import PointSpec, run_points
 from repro.experiments.common import (
     DUT_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    build_and_measure,
     format_rows,
 )
 from repro.experiments.result import ExperimentResult
@@ -69,8 +69,12 @@ def run(scale: Scale = QUICK) -> Fig01Result:
     service_ns = {}
     capacity_gbps = {}
     mean_frame = 981.0
-    for name, options in VARIANTS.items():
-        point = build_and_measure(router(), options, DUT_FREQ_GHZ, scale)
+    specs = [
+        PointSpec(router(), options, DUT_FREQ_GHZ,
+                  scale.batches, scale.warmup_batches)
+        for options in VARIANTS.values()
+    ]
+    for name, point in zip(VARIANTS, run_points(specs)):
         service_ns[name] = 1e9 / point.pps
         capacity_gbps[name] = point.gbps
         mean_frame = point.mean_frame_len

@@ -12,7 +12,8 @@ from typing import Dict, List, Tuple
 
 from repro.core.nfs import router
 from repro.core.options import BuildOptions
-from repro.experiments.common import QUICK, Row, Scale, build_and_measure, format_rows
+from repro.exec.sweep import PointSpec, run_points
+from repro.experiments.common import QUICK, Row, Scale, format_rows
 from repro.experiments.result import ExperimentResult, series_points
 from repro.perf.loadlatency import LoadLatencySimulator
 from repro.perf.stats import linear_fit, quadratic_fit
@@ -54,11 +55,18 @@ def run(scale: Scale = QUICK) -> Fig04Result:
     freqs = list(scale.frequencies)
     throughput: Dict[str, List[float]] = {}
     latency: Dict[str, List[float]] = {}
+    config = router()
+    specs = [
+        PointSpec(config, options, freq, scale.batches, scale.warmup_batches)
+        for _, options in VARIANTS
+        for freq in freqs
+    ]
+    points = iter(run_points(specs))
     for name, options in VARIANTS:
         gbps_series = []
         lat_series = []
         for freq in freqs:
-            point = build_and_measure(router(), options, freq, scale)
+            point = next(points)
             gbps_series.append(point.gbps)
             # Median latency under the saturating replay the paper uses.
             sim = LoadLatencySimulator(1e9 / point.pps, ring_size=1024)

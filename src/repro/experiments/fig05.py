@@ -14,14 +14,8 @@ from typing import Dict, List
 
 from repro.core.nfs import forwarder, forwarder_two_nics
 from repro.core.options import BuildOptions, MetadataModel
-from repro.experiments.common import (
-    QUICK,
-    Row,
-    Scale,
-    build_and_measure,
-    fixed_trace_factory,
-    format_rows,
-)
+from repro.exec.sweep import PointSpec, TraceKey, run_points
+from repro.experiments.common import QUICK, Row, Scale, format_rows
 from repro.experiments.result import ExperimentResult, series_points
 
 MODELS = (MetadataModel.COPYING, MetadataModel.OVERLAYING, MetadataModel.XCHANGE)
@@ -53,17 +47,25 @@ def run(scale: Scale = QUICK) -> Fig05Result:
     one_nic: Dict[str, List[float]] = {}
     two_nic: Dict[str, List[float]] = {}
     bounds: Dict[str, List[str]] = {}
-    trace = fixed_trace_factory(FRAME_LEN)
+    trace = TraceKey("fixed", FRAME_LEN)
+    specs = []
     for model in MODELS:
         options = BuildOptions.metadata(model)
+        for freq in freqs:
+            specs.append(PointSpec(forwarder(), options, freq,
+                                   scale.batches, scale.warmup_batches,
+                                   trace=trace))
+            specs.append(PointSpec(forwarder_two_nics(), options, freq,
+                                   scale.batches, scale.warmup_batches,
+                                   trace=trace))
+    points = iter(run_points(specs))
+    for model in MODELS:
         one_series, two_series, bound_series = [], [], []
         for freq in freqs:
-            point = build_and_measure(forwarder(), options, freq, scale, trace)
+            point = next(points)
             one_series.append(point.gbps)
             bound_series.append(point.bound_by)
-            point2 = build_and_measure(
-                forwarder_two_nics(), options, freq, scale, trace
-            )
+            point2 = next(points)
             two_series.append(point2.gbps)
         one_nic[model.value] = one_series
         two_nic[model.value] = two_series

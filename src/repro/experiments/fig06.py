@@ -13,13 +13,12 @@ from typing import Dict, List
 
 from repro.core.nfs import router
 from repro.core.options import BuildOptions
+from repro.exec.sweep import PointSpec, TraceKey, run_points
 from repro.experiments.common import (
     DUT_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    build_and_measure,
-    fixed_trace_factory,
     format_rows,
 )
 from repro.experiments.result import ExperimentResult, series_points
@@ -55,10 +54,18 @@ def run(scale: Scale = QUICK) -> Fig06Result:
     gbps: Dict[str, List[float]] = {n: [] for n in VARIANTS}
     mpps: Dict[str, List[float]] = {n: [] for n in VARIANTS}
     bound: Dict[str, List[str]] = {n: [] for n in VARIANTS}
+    config = router()
+    specs = [
+        PointSpec(config, options, DUT_FREQ_GHZ,
+                  scale.batches, scale.warmup_batches,
+                  trace=TraceKey("fixed", size))
+        for size in sizes
+        for options in VARIANTS.values()
+    ]
+    points = iter(run_points(specs))
     for size in sizes:
-        trace = fixed_trace_factory(size)
-        for name, options in VARIANTS.items():
-            point = build_and_measure(router(), options, DUT_FREQ_GHZ, scale, trace)
+        for name in VARIANTS:
+            point = next(points)
             gbps[name].append(point.gbps)
             mpps[name].append(point.mpps)
             bound[name].append(point.bound_by)

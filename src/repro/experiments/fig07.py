@@ -15,12 +15,12 @@ from typing import Dict, List, Tuple
 
 from repro.core.nfs import workpackage_forwarder
 from repro.core.options import BuildOptions
+from repro.exec.sweep import PointSpec, run_points
 from repro.experiments.common import (
     DUT_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    build_and_measure,
     format_rows,
     improvement_pct,
 )
@@ -60,23 +60,30 @@ class Fig07Result(ExperimentResult):
 
 def run(scale: Scale = QUICK) -> Fig07Result:
     surface = {}
-    for n in ACCESS_COUNTS:
-        for s_mb in scale.footprints_mb:
-            for w in scale.work_numbers:
-                config = workpackage_forwarder(s_mb, n, w)
-                vanilla = build_and_measure(
-                    config, BuildOptions.vanilla(), DUT_FREQ_GHZ, scale
-                )
-                packetmill = build_and_measure(
-                    config, BuildOptions.packetmill(), DUT_FREQ_GHZ, scale
-                )
-                # Improvement of the CPU service rate: physical ceilings
-                # (PCIe/link) would otherwise clip the surface where the
-                # NF is light and PacketMill saturates the NIC.
-                surface[(n, s_mb, w)] = (
-                    vanilla.gbps,
-                    improvement_pct(vanilla.cpu_pps, packetmill.cpu_pps),
-                )
+    grid = [
+        (n, s_mb, w)
+        for n in ACCESS_COUNTS
+        for s_mb in scale.footprints_mb
+        for w in scale.work_numbers
+    ]
+    specs = []
+    for n, s_mb, w in grid:
+        config = workpackage_forwarder(s_mb, n, w)
+        specs.append(PointSpec(config, BuildOptions.vanilla(), DUT_FREQ_GHZ,
+                               scale.batches, scale.warmup_batches))
+        specs.append(PointSpec(config, BuildOptions.packetmill(), DUT_FREQ_GHZ,
+                               scale.batches, scale.warmup_batches))
+    points = iter(run_points(specs))
+    for n, s_mb, w in grid:
+        vanilla = next(points)
+        packetmill = next(points)
+        # Improvement of the CPU service rate: physical ceilings
+        # (PCIe/link) would otherwise clip the surface where the
+        # NF is light and PacketMill saturates the NIC.
+        surface[(n, s_mb, w)] = (
+            vanilla.gbps,
+            improvement_pct(vanilla.cpu_pps, packetmill.cpu_pps),
+        )
     return Fig07Result(list(scale.footprints_mb), list(scale.work_numbers), surface)
 
 

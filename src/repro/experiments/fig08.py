@@ -12,7 +12,8 @@ from typing import Dict, List
 
 from repro.core.nfs import ids_router
 from repro.core.options import BuildOptions
-from repro.experiments.common import QUICK, Row, Scale, build_and_measure, format_rows
+from repro.exec.sweep import PointSpec, run_points
+from repro.experiments.common import QUICK, Row, Scale, format_rows
 from repro.experiments.result import ExperimentResult, series_points
 from repro.perf.loadlatency import LoadLatencySimulator
 
@@ -44,10 +45,17 @@ def run(scale: Scale = QUICK) -> Fig08Result:
     freqs = list(scale.frequencies)
     gbps: Dict[str, List[float]] = {}
     latency: Dict[str, List[float]] = {}
-    for name, options in VARIANTS.items():
+    config = ids_router()
+    specs = [
+        PointSpec(config, options, freq, scale.batches, scale.warmup_batches)
+        for options in VARIANTS.values()
+        for freq in freqs
+    ]
+    points = iter(run_points(specs))
+    for name in VARIANTS:
         g_series, l_series = [], []
         for freq in freqs:
-            point = build_and_measure(ids_router(), options, freq, scale)
+            point = next(points)
             g_series.append(point.gbps)
             sim = LoadLatencySimulator(1e9 / point.pps, ring_size=1024)
             res = sim.run(point.pps * 1.05, n_packets=scale.latency_packets // 2)

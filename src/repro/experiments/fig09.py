@@ -17,12 +17,12 @@ from typing import Dict, List
 
 from repro.core.nfs import workpackage_forwarder
 from repro.core.options import BuildOptions
+from repro.exec.sweep import PointSpec, run_points
 from repro.experiments.common import (
     DUT_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    build_and_measure,
     format_rows,
 )
 from repro.experiments.result import ExperimentResult, series_points
@@ -66,10 +66,16 @@ def run(scale: Scale = QUICK) -> Fig09Result:
     cpu_mpps: Dict[str, List[float]] = {n: [] for n in VARIANTS}
     miss: Dict[str, List[float]] = {n: [] for n in VARIANTS}
     loads: Dict[str, List[float]] = {n: [] for n in VARIANTS}
+    specs = [
+        PointSpec(workpackage_forwarder(s_mb, N_ACCESSES, W_NUMBERS), options,
+                  DUT_FREQ_GHZ, scale.batches, scale.warmup_batches)
+        for s_mb in footprints
+        for options in VARIANTS.values()
+    ]
+    points = iter(run_points(specs))
     for s_mb in footprints:
-        config = workpackage_forwarder(s_mb, N_ACCESSES, W_NUMBERS)
-        for name, options in VARIANTS.items():
-            point = build_and_measure(config, options, DUT_FREQ_GHZ, scale)
+        for name in VARIANTS:
+            point = next(points)
             gbps[name].append(point.gbps)
             cpu_mpps[name].append(point.cpu_pps / 1e6)
             counters = point.run.counters

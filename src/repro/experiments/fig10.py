@@ -12,18 +12,15 @@ from typing import Dict, List
 
 from repro.core.nfs import nat_router
 from repro.core.options import BuildOptions
-from repro.core.packetmill import PacketMill
+from repro.exec.sweep import PointSpec, run_points
 from repro.experiments.common import (
     DUT_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    campus_trace_factory,
     format_rows,
 )
 from repro.experiments.result import ExperimentResult, series_points
-from repro.hw.params import MachineParams
-from repro.perf.runner import measure_multicore
 
 VARIANTS = {
     "Vanilla": BuildOptions.vanilla(),
@@ -52,20 +49,20 @@ class Fig10Result(ExperimentResult):
 
 
 def run(scale: Scale = QUICK) -> Fig10Result:
-    params = MachineParams().at_frequency(DUT_FREQ_GHZ)
     gbps: Dict[str, List[float]] = {n: [] for n in VARIANTS}
     bound: Dict[str, List[str]] = {n: [] for n in VARIANTS}
-    for name, options in VARIANTS.items():
+    config = nat_router()
+    specs = [
+        PointSpec(config, options, DUT_FREQ_GHZ,
+                  max(60, scale.batches // 2), scale.warmup_batches // 2,
+                  n_cores=cores)
+        for options in VARIANTS.values()
+        for cores in CORE_COUNTS
+    ]
+    points = iter(run_points(specs))
+    for name in VARIANTS:
         for cores in CORE_COUNTS:
-            mill = PacketMill(
-                nat_router(), options, params=params, trace=campus_trace_factory()
-            )
-            binaries = mill.build_multicore(cores)
-            point = measure_multicore(
-                binaries,
-                batches=max(60, scale.batches // 2),
-                warmup_batches=scale.warmup_batches // 2,
-            )
+            point = next(points)
             gbps[name].append(point.gbps)
             bound[name].append(point.bound_by)
     return Fig10Result(list(CORE_COUNTS), gbps, bound)

@@ -12,11 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.exec.sweep import FrameworkPointSpec, run_points
 from repro.experiments.common import QUICK, Row, Scale, format_rows
 from repro.experiments.result import ExperimentResult, series_points
-from repro.frameworks import FRAMEWORK_BUILDERS
-from repro.hw.params import MachineParams
-from repro.perf.runner import measure_throughput
 
 FREQ_GHZ = 1.2
 
@@ -46,16 +44,18 @@ class Fig11Result(ExperimentResult):
 
 def run(scale: Scale = QUICK) -> Fig11Result:
     sizes = list(scale.packet_sizes)
-    params = MachineParams().at_frequency(FREQ_GHZ)
     names = sorted(set(FIG11A) | set(FIG11B))
     gbps: Dict[str, List[float]] = {n: [] for n in names}
+    specs = [
+        FrameworkPointSpec(name, size, FREQ_GHZ,
+                           scale.batches, scale.warmup_batches, seed=3)
+        for size in sizes
+        for name in names
+    ]
+    points = iter(run_points(specs))
     for size in sizes:
         for name in names:
-            binary = FRAMEWORK_BUILDERS[name](params, size, seed=3)
-            point = measure_throughput(
-                binary, batches=scale.batches, warmup_batches=scale.warmup_batches
-            )
-            gbps[name].append(point.gbps)
+            gbps[name].append(next(points).gbps)
     return Fig11Result(sizes, gbps)
 
 

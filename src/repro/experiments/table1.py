@@ -12,12 +12,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.nfs import router
+from repro.exec.sweep import PointSpec, run_points
 from repro.experiments.common import (
     PERF_FREQ_GHZ,
     QUICK,
     Row,
     Scale,
-    build_and_measure,
     format_rows,
 )
 from repro.experiments.fig04 import VARIANTS
@@ -39,8 +39,13 @@ class Table1Result(ExperimentResult):
 
 def run(scale: Scale = QUICK) -> Table1Result:
     metrics = {}
-    for name, options in VARIANTS:
-        point = build_and_measure(router(), options, PERF_FREQ_GHZ, scale)
+    config = router()
+    specs = [
+        PointSpec(config, options, PERF_FREQ_GHZ,
+                  scale.batches, scale.warmup_batches)
+        for _, options in VARIANTS
+    ]
+    for (name, _), point in zip(VARIANTS, run_points(specs)):
         metrics[name] = {
             "llc_kloads_100ms": point.counter_per_window("llc_loads") / 1e3,
             "llc_kmisses_100ms": point.counter_per_window("llc_misses") / 1e3,

@@ -5,22 +5,30 @@ needed for this paper is Intel DDIO: NIC DMA writes allocate directly into
 the last-level cache, but only into a limited number of ways per set, so
 heavy I/O both *warms* the LLC (packet data arrives cached) and *pressures*
 it (DDIO fills evict application lines from those ways).
+
+Each set is an ordered mapping from line address to its DDIO flag, kept in
+LRU-first order (lookups promote to the MRU end, inserts append).  The
+mapping gives O(1) hit/miss checks on the simulator's hottest path while
+reproducing exactly the hit, promotion, and eviction decisions of the
+original list-scan implementation: iteration order of the mapping is the
+same LRU-first order the list kept, so the "first DDIO line" victim and
+the plain-LRU victim are identical line addresses.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class Cache:
     """One set-associative, write-allocate, LRU cache level.
 
-    Tags are full line addresses (``addr // line_size``); each set is a
-    list ordered least-recently-used first.
+    Tags are full line addresses (``addr // line_size``); each set maps
+    line address -> DDIO flag, ordered least-recently-used first.
     """
 
     __slots__ = ("name", "size", "assoc", "line_size", "n_sets", "_sets",
-                 "_ddio_flags", "hits", "misses")
+                 "_ddio_count", "hits", "misses")
 
     def __init__(self, name: str, size: int, assoc: int, line_size: int = 64):
         if size % (assoc * line_size):
@@ -30,9 +38,9 @@ class Cache:
         self.assoc = assoc
         self.line_size = line_size
         self.n_sets = size // (assoc * line_size)
-        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
-        # Parallel per-set lists marking lines that were DDIO-allocated.
-        self._ddio_flags: List[List[bool]] = [[] for _ in range(self.n_sets)]
+        self._sets: List[Dict[int, bool]] = [{} for _ in range(self.n_sets)]
+        # Per-set count of DDIO-allocated lines (avoids rescanning flags).
+        self._ddio_count: List[int] = [0] * self.n_sets
         self.hits = 0
         self.misses = 0
 
@@ -41,18 +49,13 @@ class Cache:
 
     def access(self, line_addr: int) -> bool:
         """Look up a line; on a hit, promote it to MRU.  Returns hit/miss."""
-        idx = self._set_index(line_addr)
-        cset = self._sets[idx]
-        try:
-            pos = cset.index(line_addr)
-        except ValueError:
+        cset = self._sets[line_addr % self.n_sets]
+        flag = cset.pop(line_addr, None)
+        if flag is None:
             self.misses += 1
             return False
         self.hits += 1
-        if pos != len(cset) - 1:
-            cset.append(cset.pop(pos))
-            flags = self._ddio_flags[idx]
-            flags.append(flags.pop(pos))
+        cset[line_addr] = flag  # re-insert at the MRU end
         return True
 
     def fill(self, line_addr: int, ddio: bool = False,
@@ -64,42 +67,41 @@ class Cache:
         Intel's way-restricted I/O allocation.  Returns the evicted line
         address, if any.
         """
-        idx = self._set_index(line_addr)
+        idx = line_addr % self.n_sets
         cset = self._sets[idx]
-        flags = self._ddio_flags[idx]
         if line_addr in cset:
             return None
         evicted = None
-        if ddio and ddio_ways is not None:
-            ddio_count = sum(flags)
-            if ddio_count >= ddio_ways:
-                # Evict the LRU DDIO line rather than an application line.
-                for pos, is_ddio in enumerate(flags):
-                    if is_ddio:
-                        evicted = cset.pop(pos)
-                        flags.pop(pos)
-                        break
+        if ddio and ddio_ways is not None and self._ddio_count[idx] >= ddio_ways:
+            # Evict the LRU DDIO line rather than an application line.
+            for line, is_ddio in cset.items():
+                if is_ddio:
+                    evicted = line
+                    break
+            if evicted is not None:
+                del cset[evicted]
+                self._ddio_count[idx] -= 1
         if evicted is None and len(cset) >= self.assoc:
-            evicted = cset.pop(0)
-            flags.pop(0)
-        cset.append(line_addr)
-        flags.append(ddio)
+            evicted = next(iter(cset))  # LRU-first order
+            if cset.pop(evicted):
+                self._ddio_count[idx] -= 1
+        cset[line_addr] = ddio
+        if ddio:
+            self._ddio_count[idx] += 1
         return evicted
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line if present (used for DMA coherence)."""
-        idx = self._set_index(line_addr)
-        cset = self._sets[idx]
-        try:
-            pos = cset.index(line_addr)
-        except ValueError:
+        idx = line_addr % self.n_sets
+        flag = self._sets[idx].pop(line_addr, None)
+        if flag is None:
             return False
-        cset.pop(pos)
-        self._ddio_flags[idx].pop(pos)
+        if flag:
+            self._ddio_count[idx] -= 1
         return True
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._sets[self._set_index(line_addr)]
+        return line_addr in self._sets[line_addr % self.n_sets]
 
     def occupancy(self) -> int:
         """Number of valid lines currently cached."""
@@ -112,8 +114,7 @@ class Cache:
     def flush(self) -> None:
         for cset in self._sets:
             cset.clear()
-        for flags in self._ddio_flags:
-            flags.clear()
+        self._ddio_count = [0] * self.n_sets
         self.reset_stats()
 
     def __repr__(self) -> str:

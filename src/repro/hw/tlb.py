@@ -18,6 +18,13 @@ class _LruSet(OrderedDict):
         super().__init__()
         self.capacity = capacity
 
+    def __reduce__(self):
+        # OrderedDict's default reconstructor passes the items to
+        # __init__, which here takes a capacity -- rebuild explicitly so
+        # instances survive pickling (process-pool sweep results carry
+        # the full hardware model).
+        return (self.__class__, (self.capacity,), None, None, iter(self.items()))
+
     def access(self, page: int) -> bool:
         if page in self:
             self.move_to_end(page)

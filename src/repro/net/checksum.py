@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 
-def ones_complement_sum(data: bytes, initial: int = 0) -> int:
-    """16-bit one's-complement sum of ``data`` folded into 16 bits."""
+
+def _ones_complement_sum(data: bytes, initial: int = 0) -> int:
     total = initial
     length = len(data)
     # Sum 16-bit big-endian words; pad a trailing odd byte with zero.
@@ -15,6 +16,21 @@ def ones_complement_sum(data: bytes, initial: int = 0) -> int:
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return total
+
+
+_cached_sum = lru_cache(maxsize=4096)(_ones_complement_sum)
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """16-bit one's-complement sum of ``data`` folded into 16 bits.
+
+    Pure in its inputs, so ``bytes`` arguments (the common case -- traces
+    replay the same headers over and over) are memoized; mutable buffers
+    fall through to the direct computation.
+    """
+    if type(data) is bytes:
+        return _cached_sum(data, initial)
+    return _ones_complement_sum(data, initial)
 
 
 def internet_checksum(data: bytes, initial: int = 0) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Optional, Sequence
 
 from repro.net.addresses import IPv4Address, MacAddress
@@ -38,10 +39,16 @@ GENERATOR_MAC = MacAddress("02:00:00:00:00:01")
 DUT_MAC = MacAddress("02:00:00:00:00:02")
 
 
+@lru_cache(maxsize=16384)
 def build_frame(flow: FlowSpec, frame_len: int, ttl: int = 64,
                 src_mac: MacAddress = GENERATOR_MAC,
                 dst_mac: MacAddress = DUT_MAC) -> bytes:
-    """Serialize a full Ethernet/IPv4/L4 frame of exactly ``frame_len`` bytes."""
+    """Serialize a full Ethernet/IPv4/L4 frame of exactly ``frame_len`` bytes.
+
+    Pure in its (hashable) arguments and memoized: trace pools draw the
+    same flow/size combinations repeatedly, and the returned ``bytes`` is
+    immutable so sharing one object across pools is safe.
+    """
     if frame_len < MIN_FRAME:
         raise ValueError("frame must be at least %d bytes" % MIN_FRAME)
     ether = EtherHeader.build(dst_mac, src_mac, ETHERTYPE_IP)

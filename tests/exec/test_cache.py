@@ -1,0 +1,162 @@
+"""Execution caches: trace snapshots, build memoization, key injectivity."""
+
+import pytest
+
+from repro.core.nfs import forwarder, router
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.exec import cache as exec_cache
+from repro.hw.params import MachineParams
+from repro.net.trace import CampusTraceGenerator, FixedSizeTraceGenerator, TraceSpec
+from repro.perf.runner import measure_throughput
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    exec_cache.reset_caches()
+    yield
+    exec_cache.reset_caches()
+
+
+def _drain(gen, n=64):
+    return [bytes(gen.next_packet().data()) for _ in range(n)]
+
+
+class TestTraceCache:
+    def test_restored_clone_matches_fresh_build(self):
+        spec = TraceSpec(seed=7)
+        fresh = CampusTraceGenerator(spec)
+        cached_a = exec_cache.trace_from_spec("campus", None, TraceSpec(seed=7))
+        cached_b = exec_cache.trace_from_spec("campus", None, TraceSpec(seed=7))
+        assert cached_a is not cached_b
+        want = _drain(fresh)
+        assert _drain(cached_a) == want
+        assert _drain(cached_b) == want
+
+    def test_fixed_kind_restores_frame_length(self):
+        gen = exec_cache.trace_from_spec("fixed", 512, TraceSpec(seed=3))
+        exec_cache.trace_from_spec("fixed", 512, TraceSpec(seed=3))
+        assert isinstance(gen, FixedSizeTraceGenerator)
+        assert all(len(f) == 512 for f in _drain(gen, 16))
+
+    def test_counters_track_hits_and_misses(self):
+        exec_cache.trace_from_spec("campus", None, TraceSpec(seed=1))
+        exec_cache.trace_from_spec("campus", None, TraceSpec(seed=1))
+        exec_cache.trace_from_spec("campus", None, TraceSpec(seed=2))
+        stats = exec_cache.stats()
+        assert stats["trace_misses"] == 2
+        assert stats["trace_hits"] == 1
+
+    def test_distinct_specs_do_not_collide(self):
+        a = exec_cache.trace_from_spec("fixed", 128, TraceSpec(seed=5))
+        b = exec_cache.trace_from_spec("fixed", 256, TraceSpec(seed=5))
+        c = exec_cache.trace_from_spec("fixed", 128, TraceSpec(seed=6))
+        lens = {len(_drain(x, 1)[0]) for x in (a, b)}
+        assert lens == {128, 256}
+        assert _drain(a, 8) != _drain(c, 8)
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        exec_cache.trace_from_spec("campus", None, TraceSpec(seed=1))
+        exec_cache.trace_from_spec("campus", None, TraceSpec(seed=1))
+        assert exec_cache.stats()["trace_hits"] == 0
+
+
+class TestBuildCache:
+    def test_identical_builds_share_artifacts_bit_exactly(self):
+        params = MachineParams().at_frequency(2.3)
+
+        def build_and_run():
+            mill = PacketMill(router(), BuildOptions.packetmill(), params=params)
+            return measure_throughput(mill.build(), batches=40, warmup_batches=20)
+
+        first = build_and_run()
+        second = build_and_run()
+        stats = exec_cache.stats()
+        assert stats["build_misses"] == 1
+        assert stats["build_hits"] == 1
+        assert first == second
+
+    def test_frequency_excluded_from_key(self):
+        config = forwarder()
+        for freq in (1.2, 2.0, 3.0):
+            mill = PacketMill(config, BuildOptions.vanilla(),
+                              params=MachineParams().at_frequency(freq))
+            mill.build()
+        stats = exec_cache.stats()
+        assert stats["build_misses"] == 1
+        assert stats["build_hits"] == 2
+
+    def test_options_and_config_feed_the_key(self):
+        params = MachineParams().at_frequency(2.3)
+        PacketMill(forwarder(), BuildOptions.vanilla(), params=params).build()
+        PacketMill(forwarder(), BuildOptions.packetmill(), params=params).build()
+        PacketMill(router(), BuildOptions.vanilla(), params=params).build()
+        assert exec_cache.stats()["build_misses"] == 3
+
+    def test_machine_params_feed_the_key(self):
+        PacketMill(forwarder(), BuildOptions.vanilla(),
+                   params=MachineParams(freq_ghz=2.3, ddio_ways=2)).build()
+        PacketMill(forwarder(), BuildOptions.vanilla(),
+                   params=MachineParams(freq_ghz=2.3, ddio_ways=8)).build()
+        assert exec_cache.stats()["build_misses"] == 2
+
+
+class TestKeyInjectivity:
+    def test_params_signature_ignores_only_frequency(self):
+        base = MachineParams()
+        assert (exec_cache.params_signature(base)
+                == exec_cache.params_signature(base.at_frequency(1.2)))
+        assert (exec_cache.params_signature(base)
+                != exec_cache.params_signature(
+                    MachineParams(ddio_ways=base.ddio_ways + 1)))
+
+    def test_params_signature_injective_random_fields(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(ways_a=st.integers(1, 16), ways_b=st.integers(1, 16),
+               freq_a=st.floats(1.0, 4.0, allow_nan=False),
+               freq_b=st.floats(1.0, 4.0, allow_nan=False))
+        def check(ways_a, ways_b, freq_a, freq_b):
+            sig_a = exec_cache.params_signature(
+                MachineParams(freq_ghz=freq_a, ddio_ways=ways_a))
+            sig_b = exec_cache.params_signature(
+                MachineParams(freq_ghz=freq_b, ddio_ways=ways_b))
+            # Injective on every non-frequency field; blind to frequency.
+            assert (sig_a == sig_b) == (ways_a == ways_b)
+
+        check()
+
+    def test_trace_keys_injective(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000),
+               flows_a=st.integers(1, 64), flows_b=st.integers(1, 64))
+        def check(seed_a, seed_b, flows_a, flows_b):
+            exec_cache.reset_caches()
+            exec_cache.trace_from_spec(
+                "campus", None, TraceSpec(seed=seed_a, n_flows=flows_a, pool_size=4))
+            exec_cache.trace_from_spec(
+                "campus", None, TraceSpec(seed=seed_b, n_flows=flows_b, pool_size=4))
+            hits = exec_cache.stats()["trace_hits"]
+            assert (hits == 1) == ((seed_a, flows_a) == (seed_b, flows_b))
+
+        check()
+
+
+class TestHandlerNamespace:
+    def test_broker_reads_cache_counters(self):
+        mill = PacketMill(forwarder(), BuildOptions.vanilla())
+        binary = mill.build()
+        from repro.click.handlers import HandlerBroker, HandlerError
+
+        broker = HandlerBroker(binary.driver.graph)
+        matches = broker.read("exec.cache.*")
+        assert "exec.cache.build_misses: 1" in matches
+        assert broker.read("exec.cache.trace_misses") == "1"
+        with pytest.raises(HandlerError):
+            broker.read("exec.cache.bogus")

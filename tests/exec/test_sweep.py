@@ -1,0 +1,129 @@
+"""Sweep engine: picklability, serial/parallel bit-identity, fallbacks."""
+
+import pickle
+
+import pytest
+
+from repro.core.nfs import forwarder
+from repro.core.options import BuildOptions
+from repro.exec import cache as exec_cache
+from repro.exec.sweep import (
+    PointSpec,
+    SweepEngine,
+    TraceKey,
+    default_jobs,
+    run_points,
+)
+from repro.experiments import fig01, fig06, fig10
+from repro.experiments.common import Scale
+
+#: Small but non-trivial scale for the determinism tests.
+MICRO = Scale(
+    name="micro",
+    warmup_batches=20,
+    batches=40,
+    frequencies=(1.2, 3.0),
+    packet_sizes=(64, 1472),
+    latency_packets=5_000,
+    footprints_mb=(1.0, 16.0),
+    work_numbers=(0, 20),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    exec_cache.reset_caches()
+    yield
+    exec_cache.reset_caches()
+
+
+def _spec(**kwargs):
+    defaults = dict(config=forwarder(), options=BuildOptions.packetmill(),
+                    freq_ghz=2.3, batches=40, warmup_batches=20)
+    defaults.update(kwargs)
+    return PointSpec(**defaults)
+
+
+class TestPicklability:
+    def test_point_spec_roundtrips(self):
+        spec = _spec(trace=TraceKey("fixed", 512, seed=9, per_port=False),
+                     params_overrides=(("ddio_ways", 4),), burst=64)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_executed_point_roundtrips(self):
+        point = _spec().execute()
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.gbps == point.gbps
+
+    def test_multicore_spec_roundtrips_and_runs(self):
+        spec = _spec(n_cores=2)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.execute() == spec.execute()
+
+    def test_npf_test_result_roundtrips(self):
+        from repro.perf.npf import TestResult
+
+        result = TestResult(point={"freq": 2.3, "size": 64},
+                            metrics={"gbps": [1.0, 2.0, 3.0]})
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.point == result.point
+        assert clone.median("gbps") == result.median("gbps")
+
+    def test_telemetry_enabled_point_roundtrips(self):
+        # The telemetry bundle drags the full hardware model (TLB LRU
+        # sets included) across the process boundary; a pickling failure
+        # here silently degrades the sweep engine to serial execution.
+        from repro.core.packetmill import PacketMill
+        from repro.perf.runner import measure_throughput
+
+        mill = PacketMill(forwarder(), BuildOptions.packetmill(),
+                          telemetry=True)
+        point = measure_throughput(mill.build(), batches=40, warmup_batches=20)
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+
+
+class TestEngine:
+    def test_serial_and_forced_parallel_agree(self, monkeypatch):
+        specs = [_spec(), _spec(options=BuildOptions.vanilla())]
+        serial = SweepEngine(jobs=1, mode="serial").run(specs)
+        exec_cache.reset_caches()
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = SweepEngine(mode="parallel").run(specs)
+        assert serial == parallel
+
+    def test_point_cache_short_circuits_repeat_sweeps(self):
+        specs = [_spec()]
+        first = run_points(specs)
+        second = run_points(specs)
+        assert first == second
+        stats = exec_cache.stats()
+        assert stats["point_misses"] == 1
+        assert stats["point_hits"] == 1
+
+    def test_results_in_submission_order(self):
+        specs = [_spec(freq_ghz=f) for f in (1.2, 2.0, 3.0)]
+        points = run_points(specs)
+        # Higher frequency -> strictly higher CPU service rate.
+        assert points[0].cpu_pps < points[1].cpu_pps < points[2].cpu_pps
+
+    def test_jobs_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert SweepEngine().jobs == 3
+        monkeypatch.setenv("REPRO_SWEEP", "serial")
+        assert not SweepEngine().parallel
+
+
+@pytest.mark.parametrize("mod", [fig01, fig06, fig10],
+                         ids=["fig01", "fig06", "fig10"])
+def test_experiment_serial_parallel_bit_identical(mod, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP", "serial")
+    serial = mod.run(MICRO).to_json()
+    exec_cache.reset_caches()
+    monkeypatch.setenv("REPRO_SWEEP", "parallel")
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    parallel = mod.run(MICRO).to_json()
+    assert serial == parallel
