@@ -30,6 +30,8 @@ __all__ = [
     "CounterRegistry",
     "Telemetry",
     "TelemetryConfig",
+    "AnalysisReport",
+    "analyze_config",
     "__version__",
 ]
 
@@ -42,6 +44,8 @@ _LAZY = {
     "CounterRegistry": ("repro.telemetry.registry", "CounterRegistry"),
     "Telemetry": ("repro.telemetry", "Telemetry"),
     "TelemetryConfig": ("repro.telemetry", "TelemetryConfig"),
+    "AnalysisReport": ("repro.analyze.findings", "AnalysisReport"),
+    "analyze_config": ("repro.analyze.api", "analyze_config"),
 }
 
 

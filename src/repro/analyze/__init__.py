@@ -1,0 +1,75 @@
+"""Static analysis for PacketMill configurations and compiler output.
+
+Three cooperating checkers over the same IR the cost model executes:
+
+- the **IR verifier** (:mod:`repro.analyze.verifier`): structural
+  invariants of every element/PMD program against the active struct
+  layouts, re-run after each compiler pass in debug mode;
+- the **X-Change metadata dataflow** (:mod:`repro.analyze.dataflow`):
+  per-field def/use propagation along the processing graph
+  (use-before-init, dead stores, dead fields), cross-checked against the
+  reordering pass's layout decision;
+- the **lints** (:mod:`repro.analyze.lints`, :mod:`repro.analyze.purity`):
+  graph structure (unreachable elements, unconnected inputs, dangling
+  outputs, shadowed classifier rules) and ``pure_process`` soundness for
+  the driver's packet-class fast path.
+
+:func:`analyze_config` runs everything over one configuration; the CLI
+(``python -m repro.analyze``) wraps it; the build hook
+(``PacketMill(..., analyze=...)``) gates builds on the result.
+"""
+
+from repro.analyze.api import analyze_config, analyze_graph
+from repro.analyze.dataflow import MetadataDataflow, crosscheck_reorder
+from repro.analyze.findings import (
+    ERROR,
+    NOTE,
+    SEVERITIES,
+    WARNING,
+    AnalysisError,
+    AnalysisReport,
+    Finding,
+    severity_rank,
+)
+from repro.analyze.lints import GRAPH_LINTS, lint_graph
+from repro.analyze.purity import (
+    PurityError,
+    assert_pure,
+    check_graph_purity,
+    check_purity,
+)
+from repro.analyze.verifier import (
+    VerifierError,
+    assert_verified,
+    attach_verifier,
+    verify_exec_program,
+    verify_pool_pair,
+    verify_program,
+)
+
+__all__ = [
+    "ERROR",
+    "NOTE",
+    "WARNING",
+    "SEVERITIES",
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+    "GRAPH_LINTS",
+    "MetadataDataflow",
+    "PurityError",
+    "VerifierError",
+    "analyze_config",
+    "analyze_graph",
+    "assert_pure",
+    "assert_verified",
+    "attach_verifier",
+    "check_graph_purity",
+    "check_purity",
+    "crosscheck_reorder",
+    "lint_graph",
+    "severity_rank",
+    "verify_exec_program",
+    "verify_pool_pair",
+    "verify_program",
+]

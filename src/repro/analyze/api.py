@@ -1,0 +1,188 @@
+"""Whole-configuration analysis: every check, one report.
+
+:func:`analyze_config` runs the complete static-analysis stack over one
+Click configuration under one set of build options, mirroring the build
+pipeline stage by stage without executing a packet:
+
+1. parse the configuration into a :class:`ProcessingGraph` (parse errors
+   become findings, not tracebacks);
+2. graph lints (sources, reachability, ports, shadowed rules);
+3. purity checks for every ``pure_process`` annotation;
+4. IR verification of each element program, re-verified after every
+   compiler pass the options enable (so a pass bug names its pass);
+5. metadata reordering cross-check, when the options request the pass;
+6. lowering + verification of every lowered program;
+7. PMD RX/TX program verification and pool-balance pairing;
+8. the X-Change metadata dataflow analysis (use-before-init, dead
+   stores, dead fields) under the options' metadata model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analyze.dataflow import MetadataDataflow, crosscheck_reorder
+from repro.analyze.findings import ERROR, NOTE, AnalysisReport, Finding
+from repro.analyze.lints import lint_graph
+from repro.analyze.purity import check_graph_purity
+from repro.analyze.verifier import (
+    attach_verifier,
+    verify_exec_program,
+    verify_pool_pair,
+    verify_program,
+)
+from repro.compiler.ir import Program
+from repro.compiler.structlayout import LayoutRegistry, StructLayout
+
+
+def analyze_config(
+    config: str,
+    options=None,
+    registry=None,
+    subject: str = "<config>",
+) -> AnalysisReport:
+    """Statically analyze one configuration; never raises on bad input.
+
+    ``options`` is a :class:`~repro.core.options.BuildOptions` (defaults
+    to the full PacketMill build); ``registry`` is an optional telemetry
+    :class:`~repro.telemetry.registry.CounterRegistry` that receives the
+    finding counts under ``analyze.*``.
+    """
+    from repro.click.element import ElementConfigError
+    from repro.click.config.lexer import ConfigError
+    from repro.click.graph import ProcessingGraph
+    from repro.core.options import BuildOptions
+
+    options = options or BuildOptions.packetmill()
+    report = AnalysisReport(subject=subject)
+    try:
+        graph = ProcessingGraph.from_text(config)
+    except (ConfigError, ElementConfigError, ValueError) as exc:
+        report.add(Finding(
+            "config-parse-error", ERROR, subject, str(exc),
+            "line %d" % exc.line if getattr(exc, "line", 0) else ""))
+        if registry is not None:
+            report.record(registry)
+        return report
+    analyze_graph(graph, options, report)
+    if registry is not None:
+        report.record(registry)
+    return report
+
+
+def analyze_graph(graph, options, report: Optional[AnalysisReport] = None) -> AnalysisReport:
+    """Analyze an already-instantiated graph under the given options."""
+    from repro.compiler.pipeline import PassManager
+    from repro.compiler.lower import lower
+
+    if report is None:
+        report = AnalysisReport()
+
+    # -- structure and annotations --------------------------------------------
+    report.extend(lint_graph(graph))
+    report.extend(check_graph_purity(graph))
+
+    # -- layouts under the options' metadata model ------------------------------
+    model = _make_model(options)
+    registry = LayoutRegistry()
+    model.register_layouts(registry)
+    base_packet: StructLayout = registry.get("Packet")
+    if not model.supports_buffering:
+        for element in graph.all_elements():
+            if getattr(element, "buffers_packets", False):
+                report.add(Finding(
+                    "model-cannot-buffer", ERROR, element.name,
+                    "metadata model %r cannot buffer packets, but this "
+                    "element holds them across iterations" % model.name))
+
+    # -- element IR, verified through the pass pipeline --------------------------
+    elements = graph.all_elements()
+    pass_manager = PassManager.from_options(options)
+    attach_verifier(
+        pass_manager, registry,
+        collect=lambda findings: report.extend(findings),
+    )
+    element_ir: Dict[str, Program] = {}
+    for element in elements:
+        program = element.ir_program()
+        report.extend(verify_program(
+            program, registry, state_size=element.state_size,
+            location="element class %s" % element.decl.class_name,
+        ))
+        element_ir[element.name] = pass_manager.run(program)
+
+    # -- PMD driver programs -------------------------------------------------------
+    rx_program = model.rx_program()
+    tx_program = model.tx_program()
+    for program in (rx_program, tx_program):
+        report.extend(verify_program(
+            program, registry, pool_balance=NOTE, location="PMD program",
+        ))
+    report.extend(verify_pool_pair(rx_program, tx_program))
+
+    # -- metadata dataflow ---------------------------------------------------------
+    dataflow = MetadataDataflow(
+        graph, element_ir, rx_program, tx_program,
+        mbuf_alias=getattr(model, "mbuf_alias", None),
+    )
+    report.extend(dataflow.findings())
+
+    # -- the reordering pass's actual layout decision ------------------------------
+    if options.reorder_metadata:
+        from repro.compiler.passes import reorder_metadata
+
+        whole_program = list(element_ir.values()) + [rx_program, tx_program]
+        actual = reorder_metadata(whole_program, registry, struct="Packet")
+        report.extend(crosscheck_reorder(dataflow, base_packet))
+        expected = base_packet.reordered(
+            _whole_program_counts(whole_program)
+        )
+        if [f.name for f in expected.fields] != [f.name for f in actual.fields]:
+            report.add(Finding(
+                "reorder-mismatch", ERROR, "Packet",
+                "the reordering pass produced a field order that differs "
+                "from the whole-program access counts"))
+
+    # -- lowering against the (possibly reordered) active layouts ------------------
+    for element in elements:
+        try:
+            exec_program = lower(element_ir[element.name], registry)
+        except (KeyError, TypeError, ValueError) as exc:
+            report.add(Finding(
+                "exec-lowering-failed", ERROR, element.name, str(exc)))
+            continue
+        report.extend(verify_exec_program(
+            exec_program, registry, state_size=max(64, element.state_size),
+        ))
+    for program in (rx_program, tx_program):
+        try:
+            exec_program = lower(program, registry)
+        except (KeyError, TypeError, ValueError) as exc:
+            report.add(Finding(
+                "exec-lowering-failed", ERROR, program.name, str(exc)))
+            continue
+        report.extend(verify_exec_program(exec_program, registry))
+    return report
+
+
+def _make_model(options):
+    """The metadata model the options select (mirrors the build path)."""
+    from repro.core.options import MetadataModel
+    from repro.dpdk.metadata import CopyingModel, OverlayingModel, XChangeModel
+    from repro.dpdk.tinynf import TinyNfModel
+    from repro.dpdk.xchg_api import fastclick_conversions
+
+    model = options.metadata_model
+    if model is MetadataModel.COPYING:
+        return CopyingModel()
+    if model is MetadataModel.OVERLAYING:
+        return OverlayingModel()
+    if model is MetadataModel.TINYNF:
+        return TinyNfModel()
+    return XChangeModel(conversions=fastclick_conversions())
+
+
+def _whole_program_counts(programs):
+    from repro.compiler.ir import merge_access_counts
+
+    return merge_access_counts(programs, "Packet")

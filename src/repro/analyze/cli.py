@@ -1,0 +1,127 @@
+"""``python -m repro.analyze``: the static-analysis command line.
+
+Analyze one configuration (a file path or a shipped configuration name)
+or every shipped configuration (``--shipped``), under a named build
+variant, and exit non-zero when findings reach the ``--fail-on``
+threshold -- which is how the CI analyze-smoke job gates the tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.analyze.api import analyze_config
+from repro.analyze.findings import ERROR, NOTE, SEVERITIES, severity_rank
+
+
+def shipped_configs() -> Dict[str, str]:
+    """Every configuration the repo ships, by name (the evaluation NFs)."""
+    from repro.core import nfs
+
+    return {
+        "forwarder": nfs.forwarder(),
+        "forwarder-two-nics": nfs.forwarder_two_nics(),
+        "router": nfs.router(),
+        "router-icmp": nfs.router(icmp_errors=True),
+        "ids-router": nfs.ids_router(),
+        "nat-router": nfs.nat_router(),
+        "workpackage": nfs.workpackage_forwarder(1.0, 2, 25),
+    }
+
+
+def _options_catalog() -> Dict[str, object]:
+    from repro.core.options import BuildOptions, MetadataModel
+
+    return {
+        "vanilla": BuildOptions.vanilla(),
+        "devirtualize": BuildOptions.devirtualized(),
+        "constant": BuildOptions.constant(),
+        "static": BuildOptions.static(),
+        "all-code-opts": BuildOptions.all_code_opts(),
+        "lto-reorder": BuildOptions.lto_reorder(),
+        "packetmill": BuildOptions.packetmill(),
+        "copying": BuildOptions.metadata(MetadataModel.COPYING),
+        "overlaying": BuildOptions.metadata(MetadataModel.OVERLAYING),
+        "xchange": BuildOptions.metadata(MetadataModel.XCHANGE),
+        "tinynf": BuildOptions.metadata(MetadataModel.TINYNF),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Statically analyze PacketMill Click configurations.",
+    )
+    parser.add_argument(
+        "config", nargs="*",
+        help="configuration file path, or a shipped configuration name "
+             "(%s)" % ", ".join(sorted(shipped_configs())))
+    parser.add_argument(
+        "--shipped", action="store_true",
+        help="analyze every shipped configuration")
+    parser.add_argument(
+        "--options", default="packetmill", metavar="VARIANT",
+        help="build variant to analyze under (default: packetmill; "
+             "one of %s)" % ", ".join(sorted(_options_catalog())))
+    parser.add_argument(
+        "--json", action="store_true", help="emit one JSON report per config")
+    parser.add_argument(
+        "--min-severity", default=NOTE, choices=SEVERITIES,
+        help="lowest severity shown in text output (default: note)")
+    parser.add_argument(
+        "--fail-on", default=ERROR, choices=SEVERITIES,
+        help="exit non-zero when any finding reaches this severity "
+             "(default: error)")
+    return parser
+
+
+def _load(name_or_path: str) -> tuple:
+    """(subject, config text) for a shipped name or a file path."""
+    shipped = shipped_configs()
+    if name_or_path in shipped:
+        return name_or_path, shipped[name_or_path]
+    try:
+        with open(name_or_path) as handle:
+            return name_or_path, handle.read()
+    except OSError as exc:
+        raise SystemExit(
+            "error: %r is neither a shipped configuration (%s) nor a "
+            "readable file: %s"
+            % (name_or_path, ", ".join(sorted(shipped)), exc))
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    catalog = _options_catalog()
+    if args.options not in catalog:
+        parser.error(
+            "unknown --options %r (expected one of %s)"
+            % (args.options, ", ".join(sorted(catalog))))
+    options = catalog[args.options]
+    if args.shipped:
+        targets = list(shipped_configs().items())
+    elif args.config:
+        targets = [_load(item) for item in args.config]
+    else:
+        parser.error("give a configuration (file or shipped name) or --shipped")
+
+    threshold = severity_rank(args.fail_on)
+    failed = False
+    for index, (subject, text) in enumerate(targets):
+        report = analyze_config(text, options, subject=subject)
+        if args.json:
+            print(report.to_json())
+        else:
+            if index:
+                print()
+            print(report.to_text(min_severity=args.min_severity))
+        if any(severity_rank(f.severity) >= threshold for f in report.findings):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

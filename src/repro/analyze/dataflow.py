@@ -1,0 +1,291 @@
+"""X-Change metadata dataflow: def/use of ``Packet`` fields along the graph.
+
+PacketMill's metadata customization rests on facts about which fields of
+the application's metadata struct are *actually* defined and used: the
+PMD conversion (the ``xchg_set_*`` implementation) writes some fields on
+RX, elements read and write more along the pipeline, and the TX path
+reads a few back.  This module derives those facts from the same IR the
+cost model executes and checks them end to end:
+
+- **use-before-init** (error): an element reads a field that neither the
+  PMD conversion nor any upstream element on *every* path to it has
+  written.  With a minimal conversion set (the paper's l2fwd-xchg), this
+  is exactly the class of bug X-Change makes possible -- skipping a
+  conversion an element silently depended on.
+- **dead store** (note): a field write no later read can observe -- the
+  candidates the paper's dead-field elimination and struct reordering
+  exploit.  Reported, not punished: they are optimization opportunities.
+- **dead field** (note): a struct field written somewhere yet read
+  nowhere in the whole program (elements and TX path included).
+
+The forward pass is a classic must-reach analysis (meet = intersection
+over predecessors), the dead-store pass a backward may-liveness analysis
+(meet = union over successors); both iterate to a fixpoint so Queue
+cycles converge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analyze.findings import ERROR, NOTE, WARNING, Finding
+from repro.compiler.ir import FieldAccess, Program, merge_access_counts
+from repro.compiler.structlayout import StructLayout
+
+#: Element classes whose packets arrive through the PMD RX conversion.
+RX_CLASSES = ("FromDPDKDevice",)
+
+
+def field_events(program: Program, struct: str) -> List[Tuple[str, bool]]:
+    """Ordered (field, is_write) events of one program for ``struct``."""
+    return [
+        (op.fieldname, op.write)
+        for op in program.ops
+        if isinstance(op, FieldAccess) and op.struct == struct
+    ]
+
+
+def written_fields(program: Program, struct: str) -> Set[str]:
+    return {name for name, write in field_events(program, struct) if write}
+
+
+def exposed_reads(program: Program, struct: str) -> Set[str]:
+    """Fields read before the program itself writes them (upward-exposed)."""
+    written: Set[str] = set()
+    exposed: Set[str] = set()
+    for name, write in field_events(program, struct):
+        if write:
+            written.add(name)
+        elif name not in written:
+            exposed.add(name)
+    return exposed
+
+
+class MetadataDataflow:
+    """Def/use facts for one graph under one metadata model's programs."""
+
+    def __init__(
+        self,
+        graph,
+        programs: Dict[str, Program],
+        rx_program: Program,
+        tx_program: Program,
+        struct: str = "Packet",
+        mbuf_alias: Optional[Dict[str, str]] = None,
+    ):
+        self.graph = graph
+        self.programs = programs
+        self.rx_program = rx_program
+        self.tx_program = tx_program
+        self.struct = struct
+        #: Fields the PMD conversion initializes on RX.  Under the
+        #: Overlaying model the conversion's ``rte_mbuf`` stores are the
+        #: app struct's fields (the overlay cast renames them), so the
+        #: model's alias map folds them into the defs.
+        self.rx_defs = written_fields(rx_program, struct)
+        if mbuf_alias:
+            self.rx_defs |= {
+                mbuf_alias[name]
+                for name, write in field_events(rx_program, "rte_mbuf")
+                if write and name in mbuf_alias
+            }
+        #: Fields the TX path reads back out of the struct.
+        self.tx_uses = exposed_reads(tx_program, struct)
+        self._elements = list(graph.all_elements())
+        self._in_states: Dict[str, Set[str]] = {}
+        self._live_out: Dict[str, Set[str]] = {}
+        self._compute_reaching()
+        self._compute_liveness()
+
+    def _program_of(self, element) -> Program:
+        program = self.programs.get(element.name)
+        if program is None:
+            program = element.ir_program()
+        return program
+
+    def _successors(self, element) -> Iterable:
+        for target in element.targets:
+            if target is not None:
+                yield target[0]
+
+    # -- forward: which fields are definitely initialized ---------------------
+
+    def _compute_reaching(self) -> None:
+        in_states = self._in_states
+        worklist = []
+        for source in self.graph.sources():
+            initial = (
+                set(self.rx_defs)
+                if source.decl.class_name in RX_CLASSES
+                else set()
+            )
+            in_states[source.name] = initial
+            worklist.append(source)
+        while worklist:
+            element = worklist.pop()
+            out_state = in_states[element.name] | written_fields(
+                self._program_of(element), self.struct
+            )
+            for succ in self._successors(element):
+                known = in_states.get(succ.name)
+                # Meet = intersection: a field is initialized only if
+                # every path into the element initialized it.
+                new = out_state if known is None else known & out_state
+                if known is None or new != known:
+                    in_states[succ.name] = set(new)
+                    worklist.append(succ)
+
+    # -- backward: which stores can any later read observe ---------------------
+
+    def _compute_liveness(self) -> None:
+        live_in: Dict[str, Set[str]] = {}
+        live_out = self._live_out
+        elements = self._elements
+        changed = True
+        while changed:
+            changed = False
+            for element in reversed(elements):
+                out: Set[str] = set()
+                if element.decl.class_name == "ToDPDKDevice":
+                    out |= self.tx_uses
+                for succ in self._successors(element):
+                    out |= live_in.get(succ.name, set())
+                new_in = set(out)
+                for name, write in reversed(
+                    field_events(self._program_of(element), self.struct)
+                ):
+                    if write:
+                        new_in.discard(name)
+                    else:
+                        new_in.add(name)
+                if out != live_out.get(element.name) or new_in != live_in.get(
+                    element.name
+                ):
+                    live_out[element.name] = out
+                    live_in[element.name] = new_in
+                    changed = True
+
+    # -- derived facts ---------------------------------------------------------
+
+    def initialized_before(self, element_name: str) -> Optional[Set[str]]:
+        """Fields initialized on every path into the element (None if the
+        element is unreachable from any source)."""
+        state = self._in_states.get(element_name)
+        return None if state is None else set(state)
+
+    def dead_stores(self) -> List[Tuple[str, str]]:
+        """(element, field) pairs whose write no later read observes."""
+        out = []
+        for element in self._elements:
+            live = set(self._live_out.get(element.name, set()))
+            events = field_events(self._program_of(element), self.struct)
+            dead: List[str] = []
+            for name, write in reversed(events):
+                if write:
+                    if name not in live:
+                        dead.append(name)
+                    live.discard(name)
+                else:
+                    live.add(name)
+            for name in reversed(dead):
+                out.append((element.name, name))
+        return out
+
+    def read_fields(self) -> Set[str]:
+        """Every field some program (elements + TX path) reads."""
+        reads = {
+            name
+            for element in self._elements
+            for name, write in field_events(
+                self._program_of(element), self.struct
+            )
+            if not write
+        }
+        return reads | self.tx_uses
+
+    def written_anywhere(self) -> Set[str]:
+        fields = set(self.rx_defs)
+        for element in self._elements:
+            fields |= written_fields(self._program_of(element), self.struct)
+        return fields
+
+    def dead_fields(self) -> Set[str]:
+        """Fields written somewhere but read nowhere -- elimination bait."""
+        return self.written_anywhere() - self.read_fields()
+
+    # -- findings ---------------------------------------------------------------
+
+    def findings(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for element in self._elements:
+            state = self._in_states.get(element.name)
+            if state is None:
+                continue  # unreachable: the graph lint owns that report
+            program = self._program_of(element)
+            missing = exposed_reads(program, self.struct) - state
+            for name in sorted(missing):
+                findings.append(Finding(
+                    "meta-use-before-init", ERROR, element.name,
+                    "reads %s.%s, but neither the PMD conversion nor every "
+                    "upstream path writes it" % (self.struct, name),
+                    "element class %s" % element.decl.class_name))
+        for element_name, name in self.dead_stores():
+            findings.append(Finding(
+                "meta-dead-store", NOTE, element_name,
+                "writes %s.%s, which no later read observes "
+                "(dead-field elimination candidate)" % (self.struct, name)))
+        for name in sorted(self.dead_fields()):
+            findings.append(Finding(
+                "meta-dead-field", NOTE, self.struct,
+                "field %r is written but never read anywhere in the "
+                "program (struct-reordering would demote it)" % name))
+        for name in sorted(self.tx_uses - self.written_anywhere()):
+            findings.append(Finding(
+                "meta-tx-uninit", ERROR, self.tx_program.name,
+                "TX path reads %s.%s, which nothing ever writes"
+                % (self.struct, name)))
+        return findings
+
+
+def crosscheck_reorder(
+    dataflow: MetadataDataflow,
+    layout: StructLayout,
+    line_size: int = 64,
+) -> List[Finding]:
+    """Cross-check def/use facts against the reordering pass's decision.
+
+    Recomputes the layout exactly as :func:`repro.compiler.passes.reorder_metadata`
+    would (same access counts, same sort) and checks it against the
+    dataflow facts:
+
+    - every referenced field must still resolve in the reordered layout
+      (error -- a lost field would fault at lowering);
+    - a field the dataflow proves *write-only* that the access counts
+      nevertheless promote into the hottest cache line is flagged
+      (warning): dead stores inflate its count, so the reordering pass is
+      spending line-0 bytes on data nothing reads.
+    """
+    findings: List[Finding] = []
+    programs = [dataflow._program_of(e) for e in dataflow._elements]
+    programs += [dataflow.rx_program, dataflow.tx_program]
+    counts = merge_access_counts(programs, dataflow.struct)
+    reordered = layout.reordered(counts)
+    for name in counts:
+        if not reordered.has_field(name):
+            findings.append(Finding(
+                "reorder-lost-field", ERROR, dataflow.struct,
+                "reordered layout lost referenced field %r" % name,
+                "layout %s" % reordered.name))
+    read = dataflow.read_fields()
+    for name, count in sorted(counts.items()):
+        if count == 0 or name in read or not reordered.has_field(name):
+            continue
+        if reordered.cache_line_of(name, line_size) == 0:
+            findings.append(Finding(
+                "reorder-writeonly-hot", WARNING, dataflow.struct,
+                "write-only field %r (%d store(s)/packet, zero reads) is "
+                "promoted to cache line 0 by the reordering pass; "
+                "dead-field elimination would free the slot"
+                % (name, count),
+                "layout %s" % reordered.name))
+    return findings

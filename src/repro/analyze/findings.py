@@ -1,0 +1,194 @@
+"""The finding model: rules, severities, and the analysis report.
+
+Every check in :mod:`repro.analyze` reports through the same vocabulary:
+a :class:`Finding` names the rule that fired, its severity, the subject
+(element, program, struct, or field) and an explanation; an
+:class:`AnalysisReport` aggregates findings across all passes, renders
+them as text or JSON, mirrors the counts into a telemetry registry under
+``analyze.*``, and decides whether the configuration is sound.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Iterable, List, Optional
+
+#: Severity levels, weakest to strongest.
+NOTE = "note"
+WARNING = "warning"
+ERROR = "error"
+
+SEVERITIES = (NOTE, WARNING, ERROR)
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank for threshold comparisons (note=0 < warning < error)."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise ValueError(
+            "unknown severity %r (expected one of %s)"
+            % (severity, ", ".join(SEVERITIES))
+        ) from None
+
+
+class AnalysisError(RuntimeError):
+    """A check found error-severity problems and was asked to fail hard."""
+
+    def __init__(self, message: str, findings: Optional[List["Finding"]] = None):
+        super().__init__(message)
+        self.findings = findings or []
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``rule`` is the stable kebab-case identifier documented in
+    docs/ANALYZE.md; ``subject`` names what the finding is about (an
+    element, a program, a struct field); ``location`` is a human-readable
+    source location when one is known (config line, pass name).
+    """
+
+    rule: str
+    severity: str
+    subject: str
+    message: str
+    location: str = ""
+
+    def __post_init__(self):
+        severity_rank(self.severity)  # reject unknown severities early
+
+    def format(self) -> str:
+        where = " (%s)" % self.location if self.location else ""
+        return "%-7s %-26s %s: %s%s" % (
+            self.severity, self.rule, self.subject, self.message, where
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "location": self.location,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analysis run, plus the rendering/accounting."""
+
+    findings: List[Finding] = dataclass_field(default_factory=list)
+    #: What was analyzed (config name, build label) -- cosmetic.
+    subject: str = ""
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    # -- filtering ---------------------------------------------------------------
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def at_least(self, severity: str) -> List[Finding]:
+        """Findings at or above the given severity."""
+        floor = severity_rank(severity)
+        return [
+            f for f in self.findings if severity_rank(f.severity) >= floor
+        ]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(WARNING)
+
+    @property
+    def notes(self) -> List[Finding]:
+        return self.by_severity(NOTE)
+
+    @property
+    def ok(self) -> bool:
+        """Sound: no error-severity findings."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    # -- accounting ----------------------------------------------------------------
+
+    def record(self, registry) -> None:
+        """Mirror the finding counts into a telemetry registry.
+
+        Lives under ``analyze.*``: total, one counter per severity, and
+        one per rule id (``analyze.rule.<rule-id>``), so experiment
+        snapshots carry the static-analysis outcome next to the run
+        counters.
+        """
+        registry.counter("analyze.findings").add(len(self.findings))
+        for severity, count in self.counts().items():
+            registry.counter("analyze." + severity).add(count)
+        for finding in self.findings:
+            registry.counter("analyze.rule." + finding.rule).add(1)
+
+    def raise_on_errors(self) -> None:
+        errors = self.errors
+        if errors:
+            raise AnalysisError(
+                "analysis found %d error(s):\n%s"
+                % (len(errors), "\n".join("  " + f.format() for f in errors)),
+                errors,
+            )
+
+    # -- rendering ------------------------------------------------------------------
+
+    def to_text(self, min_severity: str = NOTE) -> str:
+        shown = sorted(
+            self.at_least(min_severity),
+            key=lambda f: (-severity_rank(f.severity), f.rule, f.subject),
+        )
+        lines = []
+        if self.subject:
+            lines.append("analysis of %s" % self.subject)
+        lines.extend(f.format() for f in shown)
+        counts = self.counts()
+        lines.append(
+            "%d finding(s): %d error, %d warning, %d note"
+            % (len(self.findings), counts[ERROR], counts[WARNING], counts[NOTE])
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "counts": self.counts(),
+                "ok": self.ok,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return "AnalysisReport(%d errors, %d warnings, %d notes)" % (
+            counts[ERROR], counts[WARNING], counts[NOTE]
+        )

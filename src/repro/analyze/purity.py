@@ -1,0 +1,95 @@
+"""The purity checker: ``pure_process`` claims, machine-checked from IR.
+
+The driver's packet-class fast path (PR 4) memoizes the routing decision
+of elements that claim ``pure_process = True`` -- skipping their Python
+``process()`` for packets whose inspected bytes were seen before.  That
+is only sound if the element really is a pure classifier:
+
+- **no state writes** -- a ``StateAccess(write=True)`` in the IR means
+  ``process()`` mutates element state (counters, tables) that a skipped
+  call would silently miss;
+- **no randomized work** -- ``RandomAccess`` marks data-dependent walks
+  over mutable working sets (flow tables, tries with updates); their
+  outcome can change between identical packets;
+- **no buffer management** -- a ``PoolOp`` allocates or frees per packet,
+  a side effect the fast path would elide;
+- **deterministic routing** -- the element must define
+  ``route_signature()`` so "same signature, same route" is well defined.
+
+The checks run from the element's *declared IR*, the same program the
+cost model executes -- so an element whose annotation contradicts its own
+profile is rejected before the fast path ever engages (previously the
+annotation was trusted unchecked).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analyze.findings import ERROR, AnalysisError, Finding
+from repro.compiler.ir import PoolOp, RandomAccess, StateAccess
+
+
+class PurityError(AnalysisError):
+    """An element's ``pure_process`` annotation is unsound."""
+
+
+def check_purity(element) -> List[Finding]:
+    """Findings for one element *claiming* purity (empty = claim holds).
+
+    Call unconditionally; elements that do not claim ``pure_process``
+    trivially pass.
+    """
+    if not getattr(element, "pure_process", False):
+        return []
+    findings: List[Finding] = []
+    name = element.name
+    location = "element class %s" % element.decl.class_name
+    program = element.ir_program()
+    for index, op in enumerate(program.ops):
+        where = "%s, op %d" % (location, index)
+        if isinstance(op, StateAccess) and op.write:
+            findings.append(Finding(
+                "purity-state-write", ERROR, name,
+                "pure_process element writes %d byte(s) of element state"
+                % op.size, where))
+        elif isinstance(op, RandomAccess):
+            findings.append(Finding(
+                "purity-random-access", ERROR, name,
+                "pure_process element walks a %d-byte mutable working set"
+                % op.footprint, where))
+        elif isinstance(op, PoolOp):
+            findings.append(Finding(
+                "purity-pool-op", ERROR, name,
+                "pure_process element performs a pool %s per packet"
+                % op.kind, where))
+    if not callable(getattr(element, "route_signature", None)):
+        findings.append(Finding(
+            "purity-no-signature", ERROR, name,
+            "pure_process element defines no route_signature()", location))
+    return findings
+
+
+def assert_pure(element) -> None:
+    """Fail hard when a ``pure_process`` claim is unsound.
+
+    The driver calls this for every fast-path candidate at construction
+    time: an impure element with a purity annotation is a correctness bug
+    (memoized routes would diverge from real execution), not a tuning
+    knob, so the build refuses to run rather than refusing the cache.
+    """
+    findings = check_purity(element)
+    if findings:
+        raise PurityError(
+            "element %r claims pure_process but is not pure:\n%s"
+            % (element.name, "\n".join("  " + f.format() for f in findings)),
+            findings,
+        )
+
+
+def check_graph_purity(graph) -> List[Finding]:
+    """Purity findings for every annotated element of a graph."""
+    findings: List[Finding] = []
+    for element in graph.all_elements():
+        findings.extend(check_purity(element))
+    return findings

@@ -311,6 +311,16 @@ class RouterDriver:
             and watchdog is None
             and not telemetry.enabled
         )
+        if self.fastpath:
+            # The fast path trusts pure_process annotations to skip
+            # process() calls; machine-check every claim against the
+            # element's own IR before engaging (an unsound claim is a
+            # correctness bug, so the build fails rather than degrading).
+            from repro.analyze.purity import assert_pure
+
+            for element in graph.all_elements():
+                if getattr(element, "pure_process", False):
+                    assert_pure(element)
         self._route_cache: Dict[str, Dict] = {}
         self._hw_base: Dict[str, int] = {}
         self.rx_elements: List[Element] = []

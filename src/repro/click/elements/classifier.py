@@ -69,6 +69,31 @@ class Classifier(Element):
         """The inspected bytes; equal signatures classify identically."""
         return bytes(pkt.data()[self._sig_lo:self._sig_hi])
 
+    def shadowed_outputs(self) -> List[Tuple[int, int]]:
+        """(shadower, shadowed) pattern pairs where the earlier pattern
+        matches every packet the later one matches, making the later
+        output port unreachable.
+
+        Pattern ``i`` shadows pattern ``j > i`` when every byte ``i``
+        constrains, ``j`` constrains to the same value (so matching ``j``
+        implies matching ``i`` first); the catch-all ``-`` constrains
+        nothing and therefore shadows everything after it.
+        """
+        byte_maps: List[dict] = []
+        for terms in self.patterns:
+            bytes_of: dict = {}
+            for offset, value in terms:
+                for k, byte in enumerate(value):
+                    bytes_of[offset + k] = byte
+            byte_maps.append(bytes_of)
+        shadowed = []
+        for j in range(1, len(byte_maps)):
+            for i in range(j):
+                if byte_maps[i].items() <= byte_maps[j].items():
+                    shadowed.append((i, j))
+                    break
+        return shadowed
+
     def ir_program(self) -> Program:
         # Constant embedding compiles the pattern table into immediate
         # compares (what click-fastclassifier does), removing the loads.
@@ -122,6 +147,18 @@ class IPClassifier(Element):
     def route_signature(self, pkt):
         """The protocol byte fully determines the routing decision."""
         return pkt.ip().proto
+
+    def shadowed_outputs(self) -> List[Tuple[int, int]]:
+        """(shadower, shadowed) rule pairs: a catch-all (``-``/``ip``)
+        shadows every later rule, and a repeated protocol shadows its
+        duplicates."""
+        shadowed = []
+        for j in range(1, len(self.rules)):
+            for i in range(j):
+                if self.rules[i] is None or self.rules[i] == self.rules[j]:
+                    shadowed.append((i, j))
+                    break
+        return shadowed
 
     def ir_program(self) -> Program:
         ops = [DataAccess(23, 1)]  # the IPv4 protocol byte

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.click.config.ast import ConfigAst
 from repro.click.config.lexer import ConfigError
@@ -40,6 +40,44 @@ class ProcessingGraph:
 
     def element(self, name: str) -> Element:
         return self.elements[name]
+
+    def unconnected_inputs(self) -> List[Tuple[str, int]]:
+        """(element, port) pairs for required input ports nothing feeds.
+
+        Every declared input port of an element is required: an element
+        whose input is never wired can only receive packets by accident
+        (it would silently act as a spurious source).  Returned in
+        deterministic declaration order.
+        """
+        wired: Dict[str, set] = {}
+        for conn in self.ast.connections:
+            wired.setdefault(conn.dst, set()).add(conn.dst_port)
+        missing = []
+        for name, element in self.elements.items():
+            ports = wired.get(name, set())
+            for port in range(element.n_inputs):
+                if port not in ports:
+                    missing.append((name, port))
+        return missing
+
+    def check_required_inputs(self) -> None:
+        """Raise :class:`ConfigError` naming every unconnected input port.
+
+        Called at build time (:class:`repro.core.packetmill.PacketMill`)
+        so a half-wired configuration fails before it runs, not when the
+        first packet happens to reach the gap.
+        """
+        missing = self.unconnected_inputs()
+        if missing:
+            raise ConfigError(
+                "unconnected required input port(s): %s"
+                % ", ".join(
+                    "%s input [%d] (%s)"
+                    % (name, port, self.elements[name].decl.class_name)
+                    for name, port in missing
+                ),
+                min(self.elements[name].decl.line for name, _ in missing),
+            )
 
     def by_class(self, class_name: str) -> List[Element]:
         return [

@@ -9,7 +9,7 @@ and tests show *what the mill actually did* to each element.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.compiler.ir import Compute, Program
 from repro.compiler.passes import (
@@ -60,6 +60,11 @@ class PassManager:
 
     passes: List[Tuple[str, PassFn]] = field(default_factory=list)
     records: List[PassRecord] = field(default_factory=list)
+    #: Debug-mode hook called as ``verifier(program, pass_name)`` after
+    #: every pass application; :func:`repro.analyze.attach_verifier`
+    #: installs the IR verifier here so the pass that introduced a
+    #: violation is named at the point it ran.
+    verifier: Optional[Callable[[Program, str], None]] = None
 
     def add(self, name: str, fn: PassFn) -> "PassManager":
         self.passes.append((name, fn))
@@ -70,6 +75,8 @@ class PassManager:
             before_ops = len(program)
             before_compute = _instruction_count(program)
             program = fn(program)
+            if self.verifier is not None:
+                self.verifier(program, name)
             self.records.append(
                 PassRecord(
                     pass_name=name,

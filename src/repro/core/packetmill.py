@@ -18,6 +18,7 @@ Stages, mirroring the figure:
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.click.driver import (
@@ -76,6 +77,7 @@ class PacketMill:
         faults: Optional[FaultSchedule] = None,
         watchdog_threshold: int = DEFAULT_THRESHOLD,
         telemetry: Union[None, bool, TelemetryConfig] = None,
+        analyze: Union[None, bool, str] = None,
     ):
         self.config = config
         self.options = options or BuildOptions.vanilla()
@@ -84,6 +86,12 @@ class PacketMill:
         self.burst = burst or self.options.burst
         self.faults = faults
         self.watchdog_threshold = watchdog_threshold
+        # Static analysis at build time: "error" (or True) refuses to
+        # build a configuration with error-severity findings, "warn"
+        # analyzes and attaches the report without gating.  Default off;
+        # REPRO_ANALYZE=1|error|warn opts a whole run in.
+        self._analyze_mode = self._resolve_analyze_mode(analyze)
+        self._analysis_report = None
         # Counter storage is always on (it IS the stats); the optional
         # recorders (windows, attribution, spans) only exist when a
         # config is passed -- observation charges nothing either way.
@@ -96,6 +104,37 @@ class PacketMill:
             self._trace_factory = trace
         else:
             self._trace_factory = lambda port, core: trace
+
+    @staticmethod
+    def _resolve_analyze_mode(analyze) -> Optional[str]:
+        if analyze is None:
+            analyze = os.environ.get("REPRO_ANALYZE", "")
+        if analyze in (False, None) or str(analyze).lower() in (
+            "", "0", "false", "off", "no",
+        ):
+            return None
+        if analyze is True:
+            return "error"
+        mode = str(analyze).lower()
+        if mode in ("1", "true", "on", "yes", "error"):
+            return "error"
+        if mode in ("warn", "warning", "report"):
+            return "warn"
+        raise BuildError(
+            "unknown analyze mode %r (expected error/warn/off)" % (analyze,)
+        )
+
+    def analysis(self):
+        """The build's :class:`~repro.analyze.AnalysisReport` (runs the
+        analysis on first use; independent of the analyze mode)."""
+        if self._analysis_report is None:
+            from repro.analyze import analyze_config
+
+            self._analysis_report = analyze_config(
+                self.config, self.options,
+                subject=self.options.label(),
+            )
+        return self._analysis_report
 
     # -- model / policy selection ---------------------------------------------------
 
@@ -144,6 +183,23 @@ class PacketMill:
         options = self.options
         params = self.params
         graph = ProcessingGraph.from_text(self.config)
+        ports = sorted(
+            {e.param("port") for e in graph.by_class("FromDPDKDevice")}
+            | {e.param("port") for e in graph.by_class("ToDPDKDevice")}
+        )
+        if not ports:
+            raise BuildError("configuration uses no DPDK ports")
+        # Half-wired configurations fail here, naming element and port,
+        # instead of silently never delivering packets to the gap.
+        graph.check_required_inputs()
+        analysis = None
+        if self._analyze_mode:
+            analysis = self.analysis()
+            if self._analyze_mode == "error" and not analysis.ok:
+                raise BuildError(
+                    "static analysis refused the build:\n%s"
+                    % analysis.to_text(min_severity="error")
+                )
         cpu = CpuCore(params, mem, core_id)
         # One registry per binary; the shared memory system's per-core
         # counters are mounted under cpu. so the cache model's live
@@ -191,6 +247,12 @@ class PacketMill:
         if cached is None:
             registry = LayoutRegistry()
             model.register_layouts(registry)
+            if self._analyze_mode:
+                # Debug mode: re-verify each program after every pass so
+                # a pass bug is caught at the application that broke it.
+                from repro.analyze import attach_verifier
+
+                attach_verifier(pass_manager, registry)
             element_ir = {
                 e.name: pass_manager.run(e.ir_program()) for e in elements
             }
@@ -209,13 +271,8 @@ class PacketMill:
         else:
             registry, exec_programs = cached
 
-        # -- NICs and PMDs (one queue per port on this core) -------------------
-        ports = sorted(
-            {e.param("port") for e in graph.by_class("FromDPDKDevice")}
-            | {e.param("port") for e in graph.by_class("ToDPDKDevice")}
-        )
-        if not ports:
-            raise BuildError("configuration uses no DPDK ports")
+        # -- NICs and PMDs (one queue per port on this core; `ports` was
+        # computed and validated up front, right after parsing) ----------------
         # -- fault wiring (inert unless a non-empty schedule was given) --------
         injector = None
         watchdog = None
@@ -263,4 +320,7 @@ class PacketMill:
         binary.pass_manager = pass_manager
         binary.injector = injector
         binary.telemetry = telemetry
+        binary.analysis = analysis
+        if analysis is not None:
+            analysis.record(telemetry.registry)
         return binary

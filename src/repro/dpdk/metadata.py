@@ -184,17 +184,24 @@ def build_fastclick_packet_layout() -> StructLayout:
     )
 
 
+#: How the overlay cast renames rte_mbuf fields into the app's "Packet"
+#: view: an mbuf write by the PMD *is* a write of the aliased Packet
+#: field.  The dataflow analysis uses this to credit the conversion's
+#: mbuf stores as metadata definitions under the Overlaying model.
+OVERLAY_MBUF_ALIAS = {
+    "buf_addr": "buffer",
+    "ol_flags": "flags",
+    "data_len": "length",
+    "vlan_tci": "vlan_anno",
+    "rss_hash": "rss_anno",
+}
+
+
 def build_overlay_packet_layout() -> StructLayout:
     """The Overlaying model's "Packet": cast over the rte_mbuf, with the
     annotation area appended after the 128-byte mbuf struct (BESS-style)."""
     mbuf = build_mbuf_layout()
-    alias = {
-        "buf_addr": "buffer",
-        "ol_flags": "flags",
-        "data_len": "length",
-        "vlan_tci": "vlan_anno",
-        "rss_hash": "rss_anno",
-    }
+    alias = OVERLAY_MBUF_ALIAS
     fields = []
     for f in mbuf.fields:
         fields.append(Field(alias.get(f.name, f.name), f.size, f.align))
@@ -296,6 +303,9 @@ class OverlayingModel(MetadataModel):
 
     name = "overlaying"
     reorder_allowed = False  # layout is pinned to the rte_mbuf ABI
+    #: The overlay cast makes the PMD's mbuf stores visible as Packet
+    #: fields -- the dataflow analysis folds these into the RX defs.
+    mbuf_alias = OVERLAY_MBUF_ALIAS
 
     def __init__(self):
         super().__init__()

@@ -1,0 +1,88 @@
+"""CLI: python -m repro.analyze over files and shipped configurations."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analyze.cli import main, shipped_configs
+from repro.core import nfs
+
+pytestmark = pytest.mark.analyze
+
+
+def test_shipped_catalog_covers_the_evaluation_nfs():
+    names = set(shipped_configs())
+    assert {"forwarder", "router", "ids-router", "nat-router"} <= names
+
+
+def test_all_shipped_configs_are_error_free(capsys):
+    assert main(["--shipped"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis of router" in out
+    assert "0 error" in out
+
+
+def test_single_named_config(capsys):
+    assert main(["router"]) == 0
+    assert "analysis of router" in capsys.readouterr().out
+
+
+def test_json_output_is_parseable(capsys):
+    assert main(["forwarder", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["subject"] == "forwarder"
+    assert isinstance(payload["findings"], list)
+
+
+def test_fail_on_note_exits_nonzero_for_router(capsys):
+    # The router carries benign notes (dangling drop port, dead
+    # annotation store), so lowering the threshold must flip the exit.
+    assert main(["router", "--fail-on", "note"]) == 1
+
+
+def test_config_file_path_is_analyzed(tmp_path, capsys):
+    path = tmp_path / "fwd.click"
+    path.write_text(nfs.forwarder())
+    assert main([str(path)]) == 0
+    assert "analysis of %s" % path in capsys.readouterr().out
+
+
+def test_broken_config_is_a_parse_error_finding(tmp_path, capsys):
+    path = tmp_path / "broken.click"
+    path.write_text("input :: NoSuchElementClass; input -> input;")
+    assert main([str(path)]) == 1
+    assert "config-parse-error" in capsys.readouterr().out
+
+
+def test_shadowed_rules_fail_the_default_threshold(tmp_path, capsys):
+    path = tmp_path / "shadowed.click"
+    path.write_text(
+        "input :: FromDPDKDevice(PORT 0);"
+        "output :: ToDPDKDevice(PORT 0);"
+        "c :: IPClassifier(-, tcp);"
+        "input -> c; c[0] -> output; c[1] -> output;"
+    )
+    assert main([str(path)]) == 1
+    assert "classifier-shadowed-rule" in capsys.readouterr().out
+
+
+def test_unknown_name_exits_with_help():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-config"])
+
+
+def test_unknown_options_variant_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["router", "--options", "warp-speed"])
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analyze", "forwarder"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "finding(s)" in proc.stdout

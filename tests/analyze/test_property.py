@@ -1,0 +1,122 @@
+"""Property test: random programs stay verifier-clean across the passes.
+
+The pass pipeline must preserve the IR invariants for *any* well-formed
+input program, not just the programs our elements happen to emit.  We
+generate random well-formed programs over the registered layouts, push
+them through every pass the full PacketMill build runs (with the
+after-each-pass verifier attached), and require zero error findings all
+the way through lowering.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import attach_verifier, verify_exec_program, verify_program
+from repro.compiler.ir import (
+    BranchHint,
+    Compute,
+    DataAccess,
+    DirectCall,
+    FieldAccess,
+    ParamRead,
+    PoolOp,
+    Program,
+    StateAccess,
+    VirtualCall,
+)
+from repro.compiler.lower import lower
+from repro.compiler.pipeline import PassManager
+from repro.compiler.structlayout import LayoutRegistry
+from repro.core.options import BuildOptions
+from repro.dpdk.metadata import CopyingModel, build_fastclick_packet_layout
+from repro.dpdk.mbuf import MBUF_DATA_ROOM
+
+pytestmark = pytest.mark.analyze
+
+PACKET_FIELDS = [f.name for f in build_fastclick_packet_layout().fields]
+
+
+def _registry() -> LayoutRegistry:
+    registry = LayoutRegistry()
+    CopyingModel().register_layouts(registry)
+    return registry
+
+
+field_access = st.builds(
+    FieldAccess,
+    struct=st.just("Packet"),
+    fieldname=st.sampled_from(PACKET_FIELDS),
+    write=st.booleans(),
+)
+data_access = st.tuples(
+    st.integers(min_value=0, max_value=MBUF_DATA_ROOM - 1),
+    st.integers(min_value=1, max_value=64),
+).filter(lambda t: t[0] + t[1] <= MBUF_DATA_ROOM).map(
+    lambda t: DataAccess(t[0], t[1])
+)
+compute = st.builds(
+    Compute, instructions=st.floats(min_value=0, max_value=500)
+)
+state_access = st.builds(
+    StateAccess,
+    offset=st.integers(min_value=0, max_value=32),
+    size=st.integers(min_value=1, max_value=16),
+    write=st.booleans(),
+)
+param_read = st.builds(
+    ParamRead,
+    param=st.sampled_from(["alpha", "beta", "gamma"]),
+    offset=st.integers(min_value=0, max_value=56),
+)
+branch = st.builds(
+    BranchHint, miss_rate=st.floats(min_value=0.0, max_value=1.0)
+)
+virtual_call = st.builds(
+    VirtualCall,
+    callee=st.sampled_from(["push", "pull", "simple_action"]),
+    miss_rate=st.floats(min_value=0.0, max_value=1.0),
+)
+direct_call = st.builds(
+    DirectCall, callee=st.sampled_from(["push", "pull"])
+)
+
+any_op = st.one_of(
+    field_access, data_access, compute, state_access,
+    param_read, branch, virtual_call, direct_call,
+)
+
+programs = st.lists(any_op, min_size=0, max_size=24).map(
+    lambda ops: Program("random", ops)
+)
+
+
+def _error_rules(findings):
+    return [f.rule for f in findings if f.severity == "error"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs)
+def test_random_programs_stay_clean_through_the_full_pipeline(program):
+    registry = _registry()
+    assert _error_rules(verify_program(program, registry)) == []
+    collected = []
+    manager = PassManager.from_options(BuildOptions.packetmill())
+    attach_verifier(manager, registry, collect=collected.extend)
+    out = manager.run(program)
+    assert collected == [], "a pass broke the program: %r" % collected
+    exec_program = lower(out, registry)
+    assert _error_rules(verify_exec_program(exec_program, registry)) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs, gets=st.integers(min_value=0, max_value=3))
+def test_pool_balanced_programs_stay_balanced(program, gets):
+    registry = _registry()
+    ops = list(program.ops)
+    ops += [PoolOp("get")] * gets + [PoolOp("put")] * gets
+    balanced = Program("balanced", ops)
+    assert _error_rules(verify_program(balanced, registry)) == []
+    manager = PassManager.from_options(BuildOptions.packetmill())
+    out = manager.run(balanced)
+    assert _error_rules(verify_program(out, registry)) == []
