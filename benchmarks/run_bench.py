@@ -93,11 +93,17 @@ def main(argv=None) -> int:
     scale = SMOKE_SCALE if args.smoke else QUICK
     experiments = SMOKE_EXPERIMENTS if args.smoke else FULL_EXPERIMENTS
 
+    jobs = default_jobs()
     report = {
         "suite": "smoke" if args.smoke else "full",
         "scale": scale.name,
         "cpus": os.cpu_count(),
-        "jobs": default_jobs(),
+        "jobs": jobs,
+        # Worker provenance: "parallel" timings from a single-worker box
+        # (workers_used == 1) measure pool overhead, not fan-out -- mark
+        # them so speedup numbers are never compared across capture kinds.
+        "workers_used": jobs,
+        "parallel_capture": jobs > 1,
         "experiments": {},
     }
     mismatches = []

@@ -38,6 +38,7 @@ from repro.analyze.purity import (
     check_graph_purity,
     check_purity,
 )
+from repro.analyze.qos import lint_qos, lint_qos_config
 from repro.analyze.verifier import (
     VerifierError,
     assert_verified,
@@ -68,6 +69,8 @@ __all__ = [
     "check_purity",
     "crosscheck_reorder",
     "lint_graph",
+    "lint_qos",
+    "lint_qos_config",
     "severity_rank",
     "verify_exec_program",
     "verify_pool_pair",

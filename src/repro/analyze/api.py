@@ -40,13 +40,17 @@ def analyze_config(
     options=None,
     registry=None,
     subject: str = "<config>",
+    qos=None,
 ) -> AnalysisReport:
     """Statically analyze one configuration; never raises on bad input.
 
     ``options`` is a :class:`~repro.core.options.BuildOptions` (defaults
     to the full PacketMill build); ``registry`` is an optional telemetry
     :class:`~repro.telemetry.registry.CounterRegistry` that receives the
-    finding counts under ``analyze.*``.
+    finding counts under ``analyze.*``; ``qos`` is the
+    :class:`~repro.qos.config.QosConfig` the configuration will run
+    under, enabling the QoS buffer-profile lints (a config containing
+    QoS elements but analyzed without one is itself a finding).
     """
     from repro.click.element import ElementConfigError
     from repro.click.config.lexer import ConfigError
@@ -64,14 +68,16 @@ def analyze_config(
         if registry is not None:
             report.record(registry)
         return report
-    analyze_graph(graph, options, report)
+    analyze_graph(graph, options, report, qos=qos)
     if registry is not None:
         report.record(registry)
     return report
 
 
-def analyze_graph(graph, options, report: Optional[AnalysisReport] = None) -> AnalysisReport:
+def analyze_graph(graph, options, report: Optional[AnalysisReport] = None,
+                  qos=None) -> AnalysisReport:
     """Analyze an already-instantiated graph under the given options."""
+    from repro.analyze.qos import lint_qos
     from repro.compiler.pipeline import PassManager
     from repro.compiler.lower import lower
 
@@ -81,6 +87,7 @@ def analyze_graph(graph, options, report: Optional[AnalysisReport] = None) -> An
     # -- structure and annotations --------------------------------------------
     report.extend(lint_graph(graph))
     report.extend(check_graph_purity(graph))
+    report.extend(lint_qos(graph, qos))
 
     # -- layouts under the options' metadata model ------------------------------
     model = _make_model(options)

@@ -28,6 +28,23 @@ def shipped_configs() -> Dict[str, str]:
         "ids-router": nfs.ids_router(),
         "nat-router": nfs.nat_router(),
         "workpackage": nfs.workpackage_forwarder(1.0, 2, 25),
+        "qos-forwarder": nfs.qos_forwarder(pfc=False),
+        "qos-forwarder-pfc": nfs.qos_forwarder(pfc=True),
+    }
+
+
+def shipped_qos_pairings() -> Dict[str, object]:
+    """The QosConfig each shipped configuration is meant to run under.
+
+    Configurations absent from this map analyze with ``qos=None``; the
+    ones listed here contain QoS elements, so analyzing them unpaired
+    would (correctly) flag ``qos-pause-unbound``.
+    """
+    from repro.qos import default_qos
+
+    return {
+        "qos-forwarder": default_qos(),
+        "qos-forwarder-pfc": default_qos(),
     }
 
 
@@ -66,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="build variant to analyze under (default: packetmill; "
              "one of %s)" % ", ".join(sorted(_options_catalog())))
     parser.add_argument(
+        "--qos", metavar="NAME",
+        help="analyze under a shipped QoS buffer config (one of %s); "
+             "shipped QoS configurations pair automatically"
+             % ", ".join(sorted(_qos_catalog())))
+    parser.add_argument(
         "--json", action="store_true", help="emit one JSON report per config")
     parser.add_argument(
         "--min-severity", default=NOTE, choices=SEVERITIES,
@@ -75,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any finding reaches this severity "
              "(default: error)")
     return parser
+
+
+def _qos_catalog() -> Dict[str, object]:
+    from repro.qos import shipped_qos_configs
+
+    return shipped_qos_configs()
 
 
 def _load(name_or_path: str) -> tuple:
@@ -108,10 +136,21 @@ def main(argv: List[str] = None) -> int:
     else:
         parser.error("give a configuration (file or shipped name) or --shipped")
 
+    qos_override = None
+    if args.qos is not None:
+        qos_catalog = _qos_catalog()
+        if args.qos not in qos_catalog:
+            parser.error(
+                "unknown --qos %r (expected one of %s)"
+                % (args.qos, ", ".join(sorted(qos_catalog))))
+        qos_override = qos_catalog[args.qos]
+    pairings = shipped_qos_pairings()
+
     threshold = severity_rank(args.fail_on)
     failed = False
     for index, (subject, text) in enumerate(targets):
-        report = analyze_config(text, options, subject=subject)
+        qos = qos_override if qos_override is not None else pairings.get(subject)
+        report = analyze_config(text, options, subject=subject, qos=qos)
         if args.json:
             print(report.to_json())
         else:

@@ -13,6 +13,10 @@ is only sound if the element really is a pure classifier:
   outcome can change between identical packets;
 - **no buffer management** -- a ``PoolOp`` allocates or frees per packet,
   a side effect the fast path would elide;
+- **no packet writes** -- a ``DataAccess``/``FieldAccess`` with
+  ``write=True`` means ``process()`` mutates the packet or its metadata;
+  the fast path forwards the packet *unprocessed*, so the mutation would
+  silently vanish for memoized routes;
 - **deterministic routing** -- the element must define
   ``route_signature()`` so "same signature, same route" is well defined.
 
@@ -27,7 +31,13 @@ from __future__ import annotations
 from typing import List
 
 from repro.analyze.findings import ERROR, AnalysisError, Finding
-from repro.compiler.ir import PoolOp, RandomAccess, StateAccess
+from repro.compiler.ir import (
+    DataAccess,
+    FieldAccess,
+    PoolOp,
+    RandomAccess,
+    StateAccess,
+)
 
 
 class PurityError(AnalysisError):
@@ -63,6 +73,18 @@ def check_purity(element) -> List[Finding]:
                 "purity-pool-op", ERROR, name,
                 "pure_process element performs a pool %s per packet"
                 % op.kind, where))
+        elif isinstance(op, DataAccess) and op.write:
+            findings.append(Finding(
+                "purity-packet-write", ERROR, name,
+                "pure_process element writes %d packet byte(s) at offset "
+                "%d; the fast path skips process(), losing the write"
+                % (op.size, op.offset), where))
+        elif isinstance(op, FieldAccess) and op.write:
+            findings.append(Finding(
+                "purity-packet-write", ERROR, name,
+                "pure_process element writes metadata field %s.%s; the "
+                "fast path skips process(), losing the write"
+                % (op.struct, op.fieldname), where))
     if not callable(getattr(element, "route_signature", None)):
         findings.append(Finding(
             "purity-no-signature", ERROR, name,

@@ -1,0 +1,109 @@
+"""QoS lints: inconsistent buffer profiles and unbound pause elements.
+
+The runtime side of :mod:`repro.qos` degrades through counters and never
+raises on the data path -- which makes *misconfiguration* the dangerous
+failure mode: a pause element watching a port with no buffer pool, a
+headroom quota the shared pool can never honour, or XOFF thresholds the
+buckets can never reach all fail silently at run time (pause never
+asserts, headroom never absorbs).  These lints catch each of them
+statically, from the config and the graph alone:
+
+- ``qos-pause-unbound`` (error) -- a :class:`PFCPause` element watches a
+  port no :class:`~repro.qos.config.QosConfig` covers (or none exists);
+- ``qos-headroom-exceeds-pool`` (error) -- a profile's headroom quota
+  exceeds the shared headroom pool, so the excess is unallocatable;
+- ``qos-priority-no-pool`` -- a pause priority (error) or a
+  PrioritySwitch output (warning) names a priority with no buffer
+  profile: its frames are dropped unpooled at admission;
+- ``qos-xon-above-xoff`` (error) -- pause would deassert above the
+  level that asserted it, oscillating every iteration;
+- ``qos-xoff-unreachable`` (warning) -- XOFF lies above the occupancy
+  the reserved+shared buckets can reach, so pause can never assert;
+- ``qos-shared-exceeds-pool`` (warning) -- a per-priority shared quota
+  larger than the shared pool itself (the pool cap governs; the quota
+  is misleading).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyze.findings import ERROR, WARNING, Finding
+
+
+def lint_qos_config(qos) -> List[Finding]:
+    """Config-only checks: every profile's quotas against the pools."""
+    findings: List[Finding] = []
+    for prio, profile in sorted(qos.profiles.items()):
+        subject = "prio%d" % prio
+        if profile.headroom > qos.headroom_size:
+            findings.append(Finding(
+                "qos-headroom-exceeds-pool", ERROR, subject,
+                "headroom quota %d exceeds the shared headroom pool (%d "
+                "cells): the excess can never be allocated"
+                % (profile.headroom, qos.headroom_size)))
+        if profile.shared_max > qos.shared_size:
+            findings.append(Finding(
+                "qos-shared-exceeds-pool", WARNING, subject,
+                "shared quota %d exceeds the shared pool (%d cells); the "
+                "pool cap governs and the quota is misleading"
+                % (profile.shared_max, qos.shared_size)))
+        xoff = profile.effective_xoff
+        xon = profile.effective_xon
+        if xon > xoff:
+            findings.append(Finding(
+                "qos-xon-above-xoff", ERROR, subject,
+                "XON threshold %d above XOFF %d: pause would deassert at "
+                "a higher occupancy than asserted it" % (xon, xoff)))
+        reachable = profile.reserved + min(profile.shared_max, qos.shared_size)
+        if xoff > reachable:
+            findings.append(Finding(
+                "qos-xoff-unreachable", WARNING, subject,
+                "XOFF threshold %d above the %d cells reachable without "
+                "headroom: pause can never assert" % (xoff, reachable)))
+    return findings
+
+
+def lint_qos(graph, qos=None) -> List[Finding]:
+    """Graph-aware checks: QoS elements against the (optional) config.
+
+    With ``qos=None`` the only possible finding is a pause element that
+    exists with nothing to watch; a graph without QoS elements produces
+    no findings, keeping pre-QoS analyses bit-identical.
+    """
+    findings: List[Finding] = []
+    pause_elements = graph.by_class("PFCPause")
+    if qos is None:
+        for element in pause_elements:
+            findings.append(Finding(
+                "qos-pause-unbound", ERROR, element.name,
+                "pause element watches port %d but no QoS buffer pools "
+                "are configured (pass qos= to the build/analysis)"
+                % element.param("port")))
+        return findings
+    findings.extend(lint_qos_config(qos))
+    covered: Optional[frozenset] = (
+        frozenset(qos.ports) if qos.ports else None  # None = every port
+    )
+    for element in pause_elements:
+        port = element.param("port")
+        if covered is not None and port not in covered:
+            findings.append(Finding(
+                "qos-pause-unbound", ERROR, element.name,
+                "pause element watches port %d, which the QoS config "
+                "does not cover (ports: %s)"
+                % (port, ", ".join(str(p) for p in sorted(covered)))))
+        for prio in element.priorities or ():
+            if prio not in qos.profiles:
+                findings.append(Finding(
+                    "qos-priority-no-pool", ERROR, element.name,
+                    "pause priority %d has no buffer profile: pause can "
+                    "never assert for it" % prio))
+    for element in graph.by_class("PrioritySwitch"):
+        for prio in range(element.n_outputs):
+            if prio not in qos.profiles:
+                findings.append(Finding(
+                    "qos-priority-no-pool", WARNING, element.name,
+                    "output priority %d has no buffer profile: its "
+                    "frames are dropped unpooled at admission" % prio))
+    return findings

@@ -24,7 +24,6 @@ from repro.click.element import Element
 from repro.click.graph import ProcessingGraph
 from repro.compiler.lower import ExecProgram
 from repro.compiler.runtime import execute_bases
-from repro.dpdk.mempool import MempoolEmptyError
 from repro.telemetry import Telemetry
 from repro.telemetry.attribution import DRIVER_BUCKET
 from repro.telemetry.registry import CounterRegistry
@@ -272,6 +271,7 @@ class RouterDriver:
         watchdog=None,
         telemetry: Optional[Telemetry] = None,
         fastpath: Optional[bool] = None,
+        qos_ports: Optional[Dict[int, "QosPort"]] = None,  # noqa: F821
     ):
         self.graph = graph
         self.cpu = cpu
@@ -328,6 +328,15 @@ class RouterDriver:
             e for e in graph.all_elements()
             if getattr(e, "buffers_packets", False) and hasattr(e, "drain")
         ]
+        # Per-port QoS buffer accounting (ingress admission + PFC); empty
+        # when QoS is unconfigured, in which case nothing below touches it.
+        self.qos_ports = dict(qos_ports) if qos_ports else {}
+        # Control elements (PFCPause) get one tick() per iteration -- the
+        # occupancy watch that asserts/deasserts pause.  The list is empty
+        # in every non-QoS build.
+        self.tick_elements: List[Element] = [
+            e for e in graph.all_elements() if hasattr(e, "tick")
+        ]
         for element in graph.by_class("FromDPDKDevice"):
             port = element.param("port")
             if port not in pmds:
@@ -373,6 +382,12 @@ class RouterDriver:
             if pkt.mbuf is not None:
                 self._model.release(pkt.mbuf, self.cpu)
                 pkt.mbuf = None
+            ticket = pkt.qos_ticket
+            if ticket is not None:
+                # A killed frame leaves the system; release its ingress
+                # buffer charge (headroom-first reclaim).
+                pkt.qos_ticket = None
+                ticket[0].drain(ticket[1])
         self.stats.record_drop(element_name, len(packets))
         if attribution is not None:
             attribution.sync("element." + element_name)
@@ -386,10 +401,11 @@ class RouterDriver:
         self.stats.record_element_error(element.name)
         self._kill(element.name, packets)
 
-    def _clone_packet(self, element: Element, pkt):
+    def _clone_packet(self, element: Element, pkt, ref=None):
         """Duplicate a packet into a fresh app-allocated buffer (Tee)."""
+        if ref is None:  # direct callers; the hot path passes try_allocate's
+            ref = self._model.allocate(self.cpu)
         clone = pkt.clone()
-        ref = self._model.allocate(self.cpu)
         clone.mbuf = ref
         # The copy itself: one streaming write over the clone's data room.
         self.cpu.mem_access(ref.data_addr, max(64, len(pkt)), write=True,
@@ -399,15 +415,20 @@ class RouterDriver:
         return clone
 
     def _safe_clone(self, element: Element, pkt):
-        """Clone, degrading to "no clone" when the pool is exhausted."""
+        """Clone, degrading to "no clone" when the pool is exhausted.
+
+        Exhaustion surfaces as ``try_allocate() is None`` -- the unified
+        drop-counter contract -- so the hot path needs no try/except.
+        """
         attribution = self.attribution
         if attribution is not None:
             attribution.sync(DRIVER_BUCKET)
         try:
-            return self._clone_packet(element, pkt)
-        except MempoolEmptyError:
-            self.stats.clone_alloc_failures += 1
-            return None
+            ref = self._model.try_allocate(self.cpu)
+            if ref is None:
+                self.stats.clone_alloc_failures += 1
+                return None
+            return self._clone_packet(element, pkt, ref)
         finally:
             if attribution is not None:
                 attribution.sync("element." + element.name)
@@ -542,6 +563,9 @@ class RouterDriver:
         """One main-loop iteration; returns packets received."""
         if self.injector is not None:
             self.injector.begin_iteration()
+        for element in self.tick_elements:
+            # PFC watch: pause state settles before this iteration's RX.
+            element.tick()
         attribution = self.attribution
         spans = self.spans
         if spans is not None:
@@ -579,6 +603,29 @@ class RouterDriver:
             finally:
                 if spans is not None:
                     spans.pop()
+            self._drain_queues(tx_queues)
+            for element, pkts in tx_queues.values():
+                if attribution is not None:
+                    attribution.sync(DRIVER_BUCKET)
+                if spans is not None:
+                    spans.push("pmd.tx")
+                sent = element.pmd.tx_burst(pkts)
+                if spans is not None:
+                    spans.pop()
+                if attribution is not None:
+                    attribution.sync("pmd.tx")
+                transmitted += sent
+                self.stats.tx_packets += sent
+                self.stats.tx_bytes += sum(len(p) for p in pkts[:sent])
+                if sent < len(pkts):  # TX ring full: unsent packets die
+                    self._kill(element.name, pkts[sent:])
+        if received == 0 and self.queue_elements and self.in_flight_packets():
+            # Sources idle -- exhausted, or pause-throttled by PFC -- but
+            # packets remain parked in queues.  Service them anyway: this
+            # is what lets occupancy fall below XON while the source is
+            # paused (the backpressure loop needs drain progress to ever
+            # deassert) and lets finite runs reach EOF.
+            tx_queues = {}
             self._drain_queues(tx_queues)
             for element, pkts in tx_queues.values():
                 if attribution is not None:
@@ -676,8 +723,14 @@ class RouterDriver:
 
         Chained queues may refill each other, so iterate to a fixed point
         (bounded -- queue cycles cannot make progress forever within one
-        iteration's packet population).
+        iteration's packet population).  Rate-limited queues reset their
+        per-iteration service budget through ``begin_drain`` first, so the
+        fixed-point rounds cannot exceed the configured rate.
         """
+        for queue in self.queue_elements:
+            begin = getattr(queue, "begin_drain", None)
+            if begin is not None:
+                begin()
         for _ in range(8):
             moved = False
             for queue in self.queue_elements:

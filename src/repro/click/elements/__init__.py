@@ -12,6 +12,7 @@ from repro.click.elements import (  # noqa: F401
     ip,
     misc,
     nat,
+    qos,
     routing,
     synthetic,
     tee,
@@ -30,6 +31,7 @@ from repro.click.elements.io import FromDPDKDevice, ToDPDKDevice
 from repro.click.elements.ip import CheckIPHeader, DecIPTTL, MarkIPHeader, Strip, Unstrip
 from repro.click.elements.misc import ARPResponder, Discard, Paint
 from repro.click.elements.nat import IPRewriter
+from repro.click.elements.qos import LengthSwitch, PFCPause, PrioritySwitch, RatedQueue
 from repro.click.elements.routing import RadixIPLookup
 from repro.click.elements.synthetic import WorkPackage
 from repro.click.elements.vlan import VLANDecap, VLANEncap
@@ -53,11 +55,15 @@ __all__ = [
     "IPClassifier",
     "IPFilter",
     "IPRewriter",
+    "LengthSwitch",
     "MarkIPHeader",
+    "PFCPause",
     "Paint",
     "PaintSwitch",
     "Print",
+    "PrioritySwitch",
     "Queue",
+    "RatedQueue",
     "SetIPChecksum",
     "RadixIPLookup",
     "Strip",

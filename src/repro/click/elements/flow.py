@@ -73,9 +73,15 @@ class Queue(Element):
 
 @register
 class PaintSwitch(Element):
-    """Route packets by their paint annotation (one output per color)."""
+    """Route packets by their paint annotation (one output per color).
+
+    Pure routing: ``process`` only reads the paint byte, so the driver's
+    packet-class fast path may memoize the route by that byte (the
+    machine-checked ``pure_process`` contract).
+    """
 
     class_name = "PaintSwitch"
+    pure_process = True
 
     def configure(self, args, kwargs):
         self.n_outputs = int(kwargs.get("N", args[0] if args else 2))
@@ -85,6 +91,10 @@ class PaintSwitch(Element):
         if color >= self.n_outputs:
             return None
         return color
+
+    def route_signature(self, pkt):
+        """The paint byte fully determines the route."""
+        return pkt.anno_u8(ANNO_PAINT)
 
     def ir_program(self) -> Program:
         return Program(

@@ -89,10 +89,16 @@ def _class_handlers(element) -> Dict[str, Handler]:
         add("reset", write=lambda e, v: e.reset())
         if cls == "AverageCounter":
             add("average_length", read=lambda e: "%.1f" % e.average_length())
-    elif cls == "Queue":
+    elif cls in ("Queue", "RatedQueue"):
         add("length", read=lambda e: str(e.occupancy))
         add("capacity", read=lambda e: str(e.param("capacity")))
         add("drops", read=lambda e: str(e.overflows))
+        if cls == "RatedQueue":
+            add("rate", read=lambda e: str(e.param("rate")))
+    elif cls == "PFCPause":
+        add("port", read=lambda e: str(e.param("port")))
+        add("paused", read=lambda e: "" if e._pool is None else "/".join(
+            str(p) for p in sorted(e._pool.paused_priorities())))
     elif cls == "Discard":
         add("count", read=lambda e: str(e.discarded))
     elif cls in ("CheckIPHeader", "CheckTCPHeader", "CheckUDPHeader", "CheckICMPHeader"):

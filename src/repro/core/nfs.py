@@ -120,6 +120,36 @@ def nat_router(burst: int = 32, public_ip: str = "10.99.0.1",
            "capacity": capacity, "dut": DUT_MAC, "nh": NEXT_HOP_MAC}
 
 
+def qos_forwarder(burst: int = 32, port: int = 0, rate: int = 8,
+                  capacity: int = 512, pfc: bool = True) -> str:
+    """The congestion-evaluation pipeline: priority split, rated service.
+
+    Traffic is routed by 802.1p priority into per-class rated queues --
+    the service bottleneck that makes oversubscription and incast
+    observable -- and forwarded.  Priority 0 is the lossless class: with
+    ``pfc`` the PFCPause element watches port ``port``'s QoS buffer pool
+    and pauses it upstream at XOFF; without it the same pipeline is the
+    lossy baseline the degraded-capacity experiment compares against.
+    The queue capacities deliberately exceed the QoS pool sizes so
+    admission, not the queues, is what drops under congestion.
+    """
+    pause = ""
+    if pfc:
+        pause = "pfc :: PFCPause(PORT %d, PRIORITIES 0);" % port
+    return """
+    input :: FromDPDKDevice(PORT %(port)d, N_QUEUES 1, BURST %(burst)d);
+    output :: ToDPDKDevice(PORT %(port)d, BURST %(burst)d);
+    prio :: PrioritySwitch(N 2);
+    q0 :: RatedQueue(CAPACITY %(capacity)d, RATE %(rate)d);
+    q1 :: RatedQueue(CAPACITY %(capacity)d, RATE %(rate)d);
+    %(pause)s
+    input -> prio;
+    prio[0] -> q0 -> EtherMirror -> output;
+    prio[1] -> q1 -> EtherMirror -> output;
+    """ % {"port": port, "burst": burst, "rate": rate,
+           "capacity": capacity, "pause": pause}
+
+
 def workpackage_forwarder(s_mb: float, n_accesses: int, w_numbers: int,
                           burst: int = 32) -> str:
     """A.4: WorkPackage(S, N, W) along the forwarding configuration."""

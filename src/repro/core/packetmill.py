@@ -48,6 +48,7 @@ from repro.hw.layout import AddressSpace
 from repro.hw.memory import MemorySystem
 from repro.hw.params import DEFAULT_PARAMS, MachineParams
 from repro.net.trace import CampusTraceGenerator, TraceSpec
+from repro.qos import QosConfig, QosPort
 from repro.telemetry import Telemetry, TelemetryConfig
 
 TraceFactory = Callable[[int, int], object]  # (port, core) -> trace generator
@@ -78,6 +79,7 @@ class PacketMill:
         watchdog_threshold: int = DEFAULT_THRESHOLD,
         telemetry: Union[None, bool, TelemetryConfig] = None,
         analyze: Union[None, bool, str] = None,
+        qos: Optional[QosConfig] = None,
     ):
         self.config = config
         self.options = options or BuildOptions.vanilla()
@@ -86,6 +88,9 @@ class PacketMill:
         self.burst = burst or self.options.burst
         self.faults = faults
         self.watchdog_threshold = watchdog_threshold
+        # QoS buffer management: None (the default) leaves every QoS hook
+        # unreachable -- the build is bit-identical to a pre-QoS one.
+        self.qos = qos
         # Static analysis at build time: "error" (or True) refuses to
         # build a configuration with error-severity findings, "warn"
         # analyzes and attaches the report without gating.  Default off;
@@ -133,6 +138,7 @@ class PacketMill:
             self._analysis_report = analyze_config(
                 self.config, self.options,
                 subject=self.options.label(),
+                qos=self.qos,
             )
         return self._analysis_report
 
@@ -298,10 +304,33 @@ class PacketMill:
                 pgo=options.pgo,
             )
 
+        # -- QoS buffer pools (absent unless a config was given) ---------------
+        qos_ports: Dict[int, QosPort] = {}
+        if self.qos is not None:
+            for port in (self.qos.ports or ports):
+                if port not in pmds:
+                    raise BuildError(
+                        "QoS config names port %d, which the configuration "
+                        "does not use" % port
+                    )
+                pool = QosPort(self.qos, port, registry=telemetry.registry)
+                qos_ports[port] = pool
+                pmds[port].nic.qos = pool
+        for element in graph.by_class("PFCPause"):
+            watched = element.param("port")
+            if watched not in qos_ports:
+                raise BuildError(
+                    "pause element %s watches port %d but no QoS buffer "
+                    "pool is bound there (pass qos= to PacketMill)"
+                    % (element.name, watched)
+                )
+            element.bind_pool(qos_ports[watched])
+
         dispatch = self._dispatch_policy()
         driver = RouterDriver(
             graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst,
             injector=injector, watchdog=watchdog, telemetry=telemetry,
+            qos_ports=qos_ports or None,
         )
         binary = SpecializedBinary(
             options=options,
@@ -319,6 +348,7 @@ class PacketMill:
         )
         binary.pass_manager = pass_manager
         binary.injector = injector
+        binary.qos_ports = qos_ports
         binary.telemetry = telemetry
         binary.analysis = analysis
         if analysis is not None:

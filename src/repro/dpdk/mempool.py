@@ -43,6 +43,9 @@ class Mempool:
         self._free: List[int] = list(range(n - 1, -1, -1))  # LIFO: index 0 on top
         self.gets = 0
         self.puts = 0
+        # Failed allocation attempts (the drop-counter path callers use
+        # instead of catching MempoolEmptyError on the hot path).
+        self.empty_gets = 0
 
     def mbuf_addr(self, index: int) -> int:
         if not 0 <= index < self.n:
@@ -74,15 +77,32 @@ class Mempool:
         ``gets == puts + in_flight`` must hold at all times)."""
         return self.n - len(self._free)
 
-    def get(self, cpu=None) -> BufferRef:
-        """Pop one mbuf; charges the freelist head access when ``cpu`` given."""
+    def try_get(self, cpu=None) -> Optional[BufferRef]:
+        """Pop one mbuf, or return None when the pool is empty.
+
+        The hot-path allocation contract: exhaustion degrades through
+        counters (``empty_gets`` here, ``rx_nombuf``/drop ledgers at the
+        callers), never through an exception on the data path.
+        """
         if not self._free:
-            raise MempoolEmptyError("mempool exhausted")
+            self.empty_gets += 1
+            return None
         index = self._free.pop()
         self.gets += 1
         if cpu is not None:
             cpu.mem_access(self.freelist_head_addr(), 8, write=True, instructions=0.0)
         return self.buffer_ref(index)
+
+    def get(self, cpu=None) -> BufferRef:
+        """Pop one mbuf; charges the freelist head access when ``cpu`` given.
+
+        Control-path variant of :meth:`try_get`: raises
+        :class:`MempoolEmptyError` on exhaustion.
+        """
+        ref = self.try_get(cpu)
+        if ref is None:
+            raise MempoolEmptyError("mempool exhausted")
+        return ref
 
     def put(self, ref: BufferRef, cpu=None) -> None:
         """Return an mbuf to the LIFO cache."""
@@ -96,7 +116,12 @@ class Mempool:
             cpu.mem_access(self.freelist_head_addr(), 8, write=True, instructions=0.0)
 
     def bulk_get(self, count: int, cpu=None) -> Optional[List[BufferRef]]:
-        """Get ``count`` mbufs or none at all (DPDK bulk semantics)."""
+        """Get ``count`` mbufs or none at all (DPDK bulk semantics).
+
+        A refused bulk counts one ``empty_gets`` event, so bulk and
+        single-buffer callers share the same degradation ledger.
+        """
         if len(self._free) < count:
+            self.empty_gets += 1
             return None
         return [self.get(cpu) for _ in range(count)]

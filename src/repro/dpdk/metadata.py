@@ -112,6 +112,15 @@ class MetadataModel(abc.ABC):
     def rx_buffer(self, cpu) -> BufferRef:
         """Produce one empty buffer to post to the NIC RX ring."""
 
+    def try_rx_buffer(self, cpu) -> Optional[BufferRef]:
+        """Like :meth:`rx_buffer`, but None on exhaustion (hot-path
+        contract: callers degrade through ``rx_nombuf``, no try/except).
+
+        Models whose buffer source cannot fail (X-Change recycles a
+        fixed region) inherit this and never return None.
+        """
+        return self.rx_buffer(cpu)
+
     def on_rx(self, ref: BufferRef, cpu) -> BufferRef:
         """Finalize the app-visible metadata address after DMA completion."""
         return ref
@@ -124,6 +133,12 @@ class MetadataModel(abc.ABC):
         """Produce a buffer for an app-originated packet (Tee clones,
         ICMP errors, generators) -- Click's Packet::make() path."""
         return self.on_rx(self.rx_buffer(cpu), cpu)
+
+    def try_allocate(self, cpu) -> Optional[BufferRef]:
+        """Like :meth:`allocate`, but None on exhaustion (clone callers
+        count ``clone_alloc_failures`` instead of catching)."""
+        ref = self.try_rx_buffer(cpu)
+        return None if ref is None else self.on_rx(ref, cpu)
 
     # -- driver code (IR) ----------------------------------------------------------
 
@@ -255,6 +270,9 @@ class CopyingModel(MetadataModel):
     def rx_buffer(self, cpu) -> BufferRef:
         return self.mempool.get(cpu)
 
+    def try_rx_buffer(self, cpu) -> Optional[BufferRef]:
+        return self.mempool.try_get(cpu)
+
     def on_rx(self, ref: BufferRef, cpu) -> BufferRef:
         obj = self._free_objs.pop()
         meta = self._obj_region.base + obj * self._packet_layout.size
@@ -320,6 +338,9 @@ class OverlayingModel(MetadataModel):
 
     def rx_buffer(self, cpu) -> BufferRef:
         return self.mempool.get(cpu)  # meta_addr == mbuf_addr already
+
+    def try_rx_buffer(self, cpu) -> Optional[BufferRef]:
+        return self.mempool.try_get(cpu)
 
     def release(self, ref: BufferRef, cpu) -> None:
         self.mempool.put(ref, cpu)
@@ -390,6 +411,10 @@ class XChangeModel(MetadataModel):
             data_addr=self._app_region.base + index * MBUF_DATA_ROOM,
         )
         return self.on_rx(ref, cpu)
+
+    def try_allocate(self, cpu) -> BufferRef:
+        # App TX buffers are a recycled region: allocation cannot fail.
+        return self.allocate(cpu)
 
     def register_layouts(self, registry: LayoutRegistry) -> None:
         self._register_driver_layouts(registry)

@@ -129,6 +129,7 @@ class Nic:
         # bare construction keeps them private, as before.
         self.counters = NicCounters(registry, "nic.%d" % port if registry else "")
         self.faults = None  # optional repro.faults.FaultInjector
+        self.qos = None  # optional repro.qos.QosPort (ingress admission + PFC)
         self.trace_exhausted = False
 
     # -- RX side --------------------------------------------------------------
@@ -157,6 +158,8 @@ class Nic:
         budget = max_n
         if injector is not None:
             budget = injector.rx_budget(self, max_n)
+        if self.qos is not None:
+            return self._deliver_qos(budget, injector)
         out = []
         for _ in range(budget):
             if self.rx_ring.is_empty():
@@ -175,6 +178,60 @@ class Nic:
                 self.rx_ring.push(ref)
                 break
             pkt.port = self.port
+            if injector is not None:
+                injector.mutate_frame(pkt, self.port)
+            self.mem.dma_write(ref.data_addr, len(pkt))
+            cqe_addr = self.cq.slot_addr(self._cq_index)
+            self._cq_index += 1
+            self.mem.dma_write(cqe_addr, CQE_SIZE)
+            ref.cqe_addr = cqe_addr
+            self.rx_delivered += 1
+            out.append((ref, pkt))
+        return out
+
+    def _deliver_qos(self, budget: int, injector) -> List[Tuple[BufferRef, Packet]]:
+        """Receive with ingress admission and PFC-aware source pacing.
+
+        The QoS path differs from the plain loop in two ways: the trace
+        is polled through its paced protocol (``begin_poll`` +
+        ``poll_packet(paused)``, so paused priorities stop *offering*
+        frames), and every arriving frame passes the MMU's admission
+        check before it is DMA'd.  A refused frame never consumes the
+        descriptor or enters the pipeline -- it is counted in the port's
+        ``qos.*`` drop ledger, the buffer-level analogue of a priority
+        drop xstat.
+        """
+        qos = self.qos
+        trace = self.trace
+        begin = getattr(trace, "begin_poll", None)
+        if begin is not None:
+            begin()
+        poll = getattr(trace, "poll_packet", None)
+        paused = qos.paused_priorities()
+        out: List[Tuple[BufferRef, Packet]] = []
+        for _ in range(budget):
+            if self.rx_ring.is_empty():
+                if injector is not None:
+                    self.counters.imissed += budget - len(out)
+                break
+            _, ref = self.rx_ring.pop()
+            try:
+                pkt = poll(paused) if poll is not None else trace.next_packet()
+            except StopIteration:
+                self.trace_exhausted = True
+                self.rx_ring.push(ref)
+                break
+            if pkt is None:
+                # Source idle (or every backlogged priority paused) for
+                # the rest of this poll round.
+                self.rx_ring.push(ref)
+                break
+            pkt.port = self.port
+            if not qos.admit(pkt):
+                # Ingress buffer refused the frame: counted in the
+                # qos.* ledger, descriptor left posted for the next one.
+                self.rx_ring.push(ref)
+                continue
             if injector is not None:
                 injector.mutate_frame(pkt, self.port)
             self.mem.dma_write(ref.data_addr, len(pkt))

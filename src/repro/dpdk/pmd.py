@@ -16,7 +16,6 @@ from repro.compiler.lower import ExecProgram, lower
 from repro.compiler.passes import inline_calls, profile_guided, vectorize
 from repro.compiler.runtime import execute_bases
 from repro.compiler.structlayout import LayoutRegistry
-from repro.dpdk.mempool import MempoolEmptyError
 from repro.dpdk.metadata import MetadataModel
 from repro.dpdk.nic import Nic
 from repro.net.packet import Packet
@@ -76,9 +75,8 @@ class MlxPmd:
         the run degrades instead of aborting.
         """
         while not self.nic.rx_ring.is_full():
-            try:
-                buf = self.model.rx_buffer(cpu)
-            except MempoolEmptyError:
+            buf = self.model.try_rx_buffer(cpu)
+            if buf is None:
                 self.nic.counters.rx_nombuf += 1
                 return
             self.nic.post_rx(buf)
@@ -108,6 +106,12 @@ class MlxPmd:
                 else:
                     counters.rx_corrupt += 1
                 self.model.release(ref, self.cpu)
+                ticket = pkt.qos_ticket
+                if ticket is not None:
+                    # The discarded frame leaves the system here; release
+                    # its ingress buffer charge.
+                    pkt.qos_ticket = None
+                    ticket[0].drain(ticket[1])
                 continue
             ref = self.model.on_rx(ref, self.cpu)
             # The MLX5 RX loop prefetches the CQE, the metadata struct,
@@ -150,6 +154,11 @@ class MlxPmd:
             wqe_addr = self.nic.transmit(ref, len(pkt))
             execute_bases(self.cpu, self.tx_exec, ref.meta_addr,
                           ref.mbuf_addr, wqe_addr, ref.data_addr, 0)
+            ticket = pkt.qos_ticket
+            if ticket is not None:
+                # Transmitted: the frame leaves the ingress buffer.
+                pkt.qos_ticket = None
+                ticket[0].drain(ticket[1])
             sent += 1
         self.cpu.charge_ns(DOORBELL_NS)
         for ref in self.nic.reap_tx(TX_FREE_THRESHOLD):

@@ -12,7 +12,10 @@ import sys
 import time
 from typing import Optional
 
-from repro.experiments import fig01, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, table1
+from repro.experiments import (
+    fig01, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+    qos_incast, table1,
+)
 from repro.experiments.common import QUICK, Scale
 
 MODULES = [
@@ -26,6 +29,7 @@ MODULES = [
     ("Figure 9", fig09),
     ("Figure 10", fig10),
     ("Figure 11", fig11),
+    ("QoS congestion", qos_incast),
 ]
 
 

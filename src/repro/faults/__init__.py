@@ -19,9 +19,12 @@ Wiring is done by :class:`repro.core.packetmill.PacketMill` via its
 
 from repro.faults.audit import (
     MempoolLeakError,
+    QosConservationError,
     assert_no_leak,
+    assert_qos_conserved,
     check_conservation,
     mempool_audit,
+    qos_audit,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import (
@@ -49,12 +52,15 @@ __all__ = [
     "LINK_FLAP",
     "MBUF_EXHAUSTION",
     "MempoolLeakError",
+    "QosConservationError",
     "RATE_DIP",
     "RX_UNDERRUN",
     "TRUNCATE",
     "TX_BACKPRESSURE",
     "Watchdog",
     "assert_no_leak",
+    "assert_qos_conserved",
     "check_conservation",
     "mempool_audit",
+    "qos_audit",
 ]

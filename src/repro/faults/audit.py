@@ -12,15 +12,26 @@ Two invariants hold for every run, healthy or degraded:
    forwarded, counted as a drop somewhere, or is still in flight inside
    the pipeline:
    ``rx_delivered == tx_packets + drops + rx_errors + in_flight``.
+
+3. **QoS buffer conservation** (:func:`qos_audit`, when QoS is
+   configured) -- the SONiC buffer-checker invariants, per port and per
+   priority: ``offered == admitted + dropped``; ``admitted - drained ==
+   occupancy``; the per-priority shared and headroom charges sum exactly
+   to the port's pool usage; ticketed packets in flight equal total pool
+   occupancy; and once nothing is in flight, no headroom stays stranded.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class MempoolLeakError(AssertionError):
     """The pool's gets/puts/in-flight ledger does not balance."""
+
+
+class QosConservationError(AssertionError):
+    """The QoS buffer books do not balance (leak or stranded headroom)."""
 
 
 def _driver_nics(driver):
@@ -72,6 +83,86 @@ def assert_no_leak(driver, injector=None) -> Dict[str, int]:
             "unreaped_tx=%(unreaped_tx)d queued=%(queued)d "
             "hostages=%(hostages)d)" % audit
         )
+    return audit
+
+
+def _ticketed_in_flight(driver, pool) -> int:
+    """Packets parked in Queue elements still holding a charge on ``pool``."""
+    held = 0
+    for queue in driver.queue_elements:
+        for pkt in getattr(queue, "_fifo", ()):
+            ticket = getattr(pkt, "qos_ticket", None)
+            if ticket is not None and ticket[0] is pool:
+                held += 1
+    return held
+
+
+def qos_audit(driver) -> Dict[int, Dict[str, object]]:
+    """SONiC-buffer-checker-style audit of every bound :class:`QosPort`.
+
+    Returns ``{port: breakdown}``; each breakdown carries the raw books
+    plus an ``errors`` list naming every violated invariant (empty for a
+    clean run).  A driver with no QoS bound returns ``{}``.
+    """
+    out: Dict[int, Dict[str, object]] = {}
+    for port, pool in sorted(getattr(driver, "qos_ports", {}).items()):
+        accounts = pool.priority_accounts()
+        errors: List[str] = []
+        shared_sum = 0
+        headroom_sum = 0
+        occupancy_sum = 0
+        for prio, acc in sorted(accounts.items()):
+            shared_sum += acc["shared_used"]
+            headroom_sum += acc["headroom_used"]
+            occupancy_sum += acc["occupancy"]
+            if acc["offered"] != acc["admitted"] + acc["dropped"]:
+                errors.append(
+                    "port %d prio %d: offered %d != admitted %d + dropped %d"
+                    % (port, prio, acc["offered"], acc["admitted"],
+                       acc["dropped"]))
+            if acc["admitted"] - acc["drained"] != acc["occupancy"]:
+                errors.append(
+                    "port %d prio %d: admitted %d - drained %d != "
+                    "occupancy %d (buffer leak)"
+                    % (port, prio, acc["admitted"], acc["drained"],
+                       acc["occupancy"]))
+        if shared_sum != pool.shared_used:
+            errors.append(
+                "port %d: per-priority shared charges %d != shared pool "
+                "used %d" % (port, shared_sum, pool.shared_used))
+        if headroom_sum != pool.headroom_pool_used:
+            errors.append(
+                "port %d: per-priority headroom charges %d != headroom "
+                "pool used %d" % (port, headroom_sum, pool.headroom_pool_used))
+        in_flight = _ticketed_in_flight(driver, pool)
+        if in_flight != occupancy_sum:
+            errors.append(
+                "port %d: %d ticketed packet(s) in flight but pool "
+                "occupancy is %d" % (port, in_flight, occupancy_sum))
+        if in_flight == 0 and pool.headroom_pool_used != 0:
+            errors.append(
+                "port %d: %d headroom cell(s) stranded after drain"
+                % (port, pool.headroom_pool_used))
+        out[port] = {
+            "priorities": accounts,
+            "shared_used": pool.shared_used,
+            "headroom_used": pool.headroom_pool_used,
+            "occupancy": occupancy_sum,
+            "in_flight": in_flight,
+            "unpooled_drops": pool.unpooled_drops.value,
+            "errors": errors,
+        }
+    return out
+
+
+def assert_qos_conserved(driver) -> Dict[int, Dict[str, object]]:
+    """Raise :class:`QosConservationError` unless every QoS book balances."""
+    audit = qos_audit(driver)
+    errors = [err for breakdown in audit.values()
+              for err in breakdown["errors"]]
+    if errors:
+        raise QosConservationError(
+            "QoS buffer conservation violated:\n  " + "\n  ".join(errors))
     return audit
 
 

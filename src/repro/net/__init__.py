@@ -5,6 +5,8 @@ from repro.net.packet import Packet
 from repro.net.trace import (
     CampusTraceGenerator,
     FixedSizeTraceGenerator,
+    IncastBurstTrace,
+    OversubscribedTrace,
     TraceSpec,
 )
 
@@ -14,5 +16,7 @@ __all__ = [
     "Packet",
     "CampusTraceGenerator",
     "FixedSizeTraceGenerator",
+    "IncastBurstTrace",
+    "OversubscribedTrace",
     "TraceSpec",
 ]

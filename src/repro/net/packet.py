@@ -58,6 +58,7 @@ class Packet:
         "transport_header_offset",
         "mbuf",
         "rx_error",
+        "qos_ticket",
     )
 
     def __init__(
@@ -83,6 +84,19 @@ class Packet:
         # Hardware receive verdict ("truncated" | "corrupt" | None); set by
         # the fault injector, checked by the PMD's offload validation.
         self.rx_error: Optional[str] = None
+        # (QosPort, priority) charge taken at ingress admission; released
+        # exactly once when the frame leaves the system.  Clones never
+        # carry a ticket: only the original frame passed admission.
+        self.qos_ticket = None
+
+    @property
+    def priority(self) -> int:
+        """802.1p priority: the PCP bits of the VLAN TCI (802.1Qbb PFC)."""
+        return (self.vlan_tci >> 13) & 0x7
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        self.vlan_tci = ((value & 0x7) << 13) | (self.vlan_tci & 0x1FFF)
 
     # -- raw data ------------------------------------------------------------
 

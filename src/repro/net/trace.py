@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence
 
 from repro.net.addresses import IPv4Address, MacAddress
 from repro.net.flows import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FlowSet, FlowSpec
@@ -171,6 +171,141 @@ class FixedSizeTraceGenerator(_PooledTrace):
 
     def _frame_length(self) -> int:
         return self.frame_len
+
+
+class _PacedTrace(_PooledTrace):
+    """Base class for paced congestion generators (the QoS workload side).
+
+    Beyond the plain ``next_packet`` protocol these speak the *paced
+    source* protocol the QoS-enabled NIC path uses:
+
+    - :meth:`begin_poll` is called once per driver iteration to refresh
+      the per-iteration arrival budget (fractional credits, so offered
+      load need not be an integer per iteration).
+    - :meth:`poll_packet` is called per RX slot with the set of
+      currently *paused* priorities and returns one frame or ``None``
+      (source idle, or every eligible priority paused).  A paused
+      priority's frames stay at the source -- that is what PFC
+      backpressure means -- up to a bounded credit cap; load shed beyond
+      the cap is accounted in :attr:`source_throttled` rather than
+      silently lost, so conservation audits can close the ledger.
+
+    ``limit`` (0 = unbounded) caps total emission; hitting it raises
+    ``StopIteration`` exactly like :class:`FiniteTrace`.
+    """
+
+    def __init__(self, rates: Mapping[int, float], limit: int = 0,
+                 frame_len: int = 256, burst_cap: float = 4.0,
+                 spec: Optional[TraceSpec] = None):
+        if limit < 0:
+            raise ValueError("trace limit must be >= 0")
+        for prio, rate in rates.items():
+            if not 0 <= prio <= 7:
+                raise ValueError("priority %d outside 802.1p range" % prio)
+            if rate < 0:
+                raise ValueError("negative rate for priority %d" % prio)
+        self.rates: Dict[int, float] = dict(rates)
+        self.limit = limit
+        self.frame_len = frame_len
+        #: Credit ceiling, in multiples of each priority's per-iteration
+        #: rate: bounds the backlog that builds while paused, so XON
+        #: release produces a bounded recovery burst, not a flood.
+        self.burst_cap = burst_cap
+        self._credit: Dict[int, float] = {p: 0.0 for p in self.rates}
+        self._caps: Dict[int, float] = {
+            p: max(1.0, r * burst_cap) for p, r in self.rates.items()
+        }
+        self.produced = 0
+        #: Per-priority counts of frames actually emitted.
+        self.emitted: Dict[int, int] = {p: 0 for p in self.rates}
+        #: Fractional load shed at the source because the paused backlog
+        #: hit the credit cap (units: packets).
+        self.source_throttled = 0.0
+        self._rr = sorted(self.rates)
+        super().__init__(spec or TraceSpec())
+
+    def _frame_length(self) -> int:
+        return self.frame_len
+
+    def _refresh(self, prio: int, amount: float) -> None:
+        want = self._credit[prio] + amount
+        new = min(want, self._caps[prio])
+        self.source_throttled += want - new
+        self._credit[prio] = new
+
+    def begin_poll(self) -> None:
+        """Refresh this iteration's arrival credits (NIC hook)."""
+        for prio, rate in self.rates.items():
+            self._refresh(prio, rate)
+
+    def poll_packet(self, paused: FrozenSet[int] = frozenset()) -> Optional[Packet]:
+        """Emit one frame from an unpaused priority, or ``None``."""
+        if self.limit and self.produced >= self.limit:
+            raise StopIteration(
+                "trace exhausted after %d packets" % self.produced)
+        # Round-robin across priorities so no class starves another at
+        # the source; contention is created downstream, at the queues.
+        for _ in range(len(self._rr)):
+            prio = self._rr[0]
+            self._rr = self._rr[1:] + [prio]
+            if self._credit[prio] >= 1.0 and prio not in paused:
+                self._credit[prio] -= 1.0
+                pkt = self.next_packet()
+                pkt.priority = prio
+                self.produced += 1
+                self.emitted[prio] += 1
+                return pkt
+        return None
+
+
+class OversubscribedTrace(_PacedTrace):
+    """Constant offered load exceeding the service capacity.
+
+    ``rates`` maps 802.1p priority to offered packets per driver
+    iteration.  Point it at a pipeline whose :class:`RatedQueue` drains
+    fewer packets per iteration than the sum of the rates and the
+    difference must go somewhere: queue occupancy, shared-pool spill,
+    PFC pause (frames held here, at the source), or counted drops.
+    """
+
+
+class IncastBurstTrace(_PacedTrace):
+    """Synchronized many-to-one bursts -- the incast pattern.
+
+    Every ``period`` iterations, ``senders`` sources each contribute a
+    ``burst_len``-packet burst at ``priority`` (default 0, the lossless
+    class in the shipped QoS configs); between bursts an optional
+    constant ``background_rate`` flows at ``background_priority``.  The
+    burst arrives faster than any reasonable service rate can drain --
+    exactly the transient that shared headroom and PFC exist to absorb.
+    """
+
+    def __init__(self, senders: int = 8, burst_len: int = 4, period: int = 8,
+                 priority: int = 0, background_rate: float = 0.0,
+                 background_priority: int = 1, limit: int = 0,
+                 frame_len: int = 128, spec: Optional[TraceSpec] = None):
+        if senders < 1 or burst_len < 1 or period < 1:
+            raise ValueError("incast needs positive senders/burst_len/period")
+        self.senders = senders
+        self.burst_len = burst_len
+        self.period = period
+        self.burst_priority = priority
+        rates: Dict[int, float] = {priority: 0.0}
+        if background_rate:
+            rates[background_priority] = background_rate
+        self._iteration = 0
+        super().__init__(rates, limit=limit, frame_len=frame_len, spec=spec)
+        # The burst backlog may hold up to two full incasts while paused.
+        self._caps[priority] = float(2 * senders * burst_len)
+
+    def begin_poll(self) -> None:
+        if self._iteration % self.period == 0:
+            self._refresh(self.burst_priority,
+                          float(self.senders * self.burst_len))
+        self._iteration += 1
+        for prio, rate in self.rates.items():
+            if rate:
+                self._refresh(prio, rate)
 
 
 class CampusTraceGenerator(_PooledTrace):

@@ -7,7 +7,13 @@ computes the summary statistics the figures report.
 """
 
 from repro.perf.loadlatency import LatencyResult, LoadLatencySimulator
-from repro.perf.report import classify, drop_breakdown, format_report
+from repro.perf.report import (
+    classify,
+    classify_qos,
+    drop_breakdown,
+    format_qos_report,
+    format_report,
+)
 from repro.perf.runner import ThroughputPoint, measure_multicore, measure_throughput
 from repro.perf.stats import linear_fit, percentile, quadratic_fit
 
@@ -16,7 +22,9 @@ __all__ = [
     "LoadLatencySimulator",
     "ThroughputPoint",
     "classify",
+    "classify_qos",
     "drop_breakdown",
+    "format_qos_report",
     "format_report",
     "linear_fit",
     "measure_multicore",

@@ -22,6 +22,7 @@ from repro.telemetry.ledger import (
 
 HEALTHY = "healthy"
 FAULT_DEGRADED = "fault-degraded"
+CONGESTED = "congested"
 
 #: Ledger entries that mark a run as degraded, with display labels --
 #: the single schema from repro.telemetry.ledger.
@@ -80,6 +81,48 @@ def format_report(
     for extra in HW_DETAIL_NAMES:
         if detail.get(extra):
             lines.append("  %-38s %d" % (extra + ":", detail[extra]))
+    return "\n".join(lines)
+
+
+def classify_qos(audit: Dict[int, Dict[str, object]]) -> str:
+    """``"healthy"`` or ``"congested"`` from a :func:`qos_audit` result.
+
+    A run is *congested* when the QoS machinery had to act: admission
+    dropped frames, pause asserted, or the shared headroom pool was
+    touched.  This is deliberately distinct from :func:`classify`'s
+    fault verdict -- congestion is offered load exceeding capacity, not
+    a malfunction.
+    """
+    for breakdown in audit.values():
+        for acc in breakdown["priorities"].values():
+            if acc["dropped"] or acc["pause_events"]:
+                return CONGESTED
+    return HEALTHY
+
+
+def format_qos_report(audit: Dict[int, Dict[str, object]],
+                      label: str = "run") -> str:
+    """Render per-port, per-priority QoS books from a :func:`qos_audit`.
+
+    Shows offered/admitted/dropped/pause accounting per priority plus
+    the port-level pool usage; audit ``errors`` (conservation
+    violations) are rendered prominently when present.
+    """
+    lines = ["%s: %s" % (label, classify_qos(audit))]
+    for port, breakdown in sorted(audit.items()):
+        lines.append("  port %d: shared=%d headroom=%d occupancy=%d "
+                     "unpooled_drops=%d"
+                     % (port, breakdown["shared_used"],
+                        breakdown["headroom_used"], breakdown["occupancy"],
+                        breakdown["unpooled_drops"]))
+        for prio, acc in sorted(breakdown["priorities"].items()):
+            lines.append(
+                "    prio %d: offered=%-6d admitted=%-6d dropped=%-5d "
+                "pause_events=%-4d pause_iterations=%d"
+                % (prio, acc["offered"], acc["admitted"], acc["dropped"],
+                   acc["pause_events"], acc["pause_iterations"]))
+        for error in breakdown["errors"]:
+            lines.append("    CONSERVATION VIOLATION: %s" % error)
     return "\n".join(lines)
 
 

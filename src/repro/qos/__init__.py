@@ -1,0 +1,41 @@
+"""QoS buffer management: per-priority pools, shared headroom, and PFC.
+
+The congestion-robustness layer of the reproduction.  A
+:class:`~repro.qos.config.QosConfig` carves each port's ingress
+buffering into per-priority reserved quotas, a shared pool, and a
+shared PFC headroom pool; a :class:`~repro.qos.port.QosPort` runs the
+admission/pause/drain accounting at the NIC boundary; the ``PFCPause``
+element (:mod:`repro.click.elements.qos`) watches occupancy and asserts
+per-priority pause upstream so the trace source throttles instead of
+being dropped.
+
+Everything is opt-in through ``PacketMill(qos=...)``: with no config the
+NIC, PMD, and driver hot paths are bit-identical to a QoS-less build.
+Conservation is audited by :func:`repro.faults.audit.qos_audit`, and
+profile consistency by :mod:`repro.analyze.qos`.
+"""
+
+from repro.qos.config import (
+    PCP_MASK,
+    PCP_SHIFT,
+    BufferProfile,
+    QosConfig,
+    default_qos,
+    packet_priority,
+    shipped_qos_configs,
+    tight_qos,
+)
+from repro.qos.port import QosAccountingError, QosPort
+
+__all__ = [
+    "PCP_MASK",
+    "PCP_SHIFT",
+    "BufferProfile",
+    "QosAccountingError",
+    "QosConfig",
+    "QosPort",
+    "default_qos",
+    "packet_priority",
+    "shipped_qos_configs",
+    "tight_qos",
+]

@@ -1,0 +1,128 @@
+"""QoS buffer-management configuration: SONiC-style buffer profiles.
+
+A :class:`QosConfig` describes how one port's ingress buffering is carved
+up, the way a switch ASIC's MMU is programmed from a SONiC buffer
+profile: every 802.1p priority gets a **private reserved quota**, may
+spill into a port-wide **shared pool** up to a per-priority cap, and --
+for PFC-enabled (lossless) priorities -- may land post-XOFF in-flight
+frames in a **shared headroom pool**.  Units are packets, not bytes: the
+simulation's mbufs are fixed-size, so a packet is the natural buffer
+cell (real profiles express the same shape in bytes).
+
+The config is pure data; :class:`repro.qos.port.QosPort` instantiates the
+accounting, :mod:`repro.analyze.qos` lints profiles for inconsistencies
+(headroom exceeding the pool, a priority with no pool, a pause element
+watching an unbound pool), and :func:`repro.faults.audit.qos_audit`
+checks the runtime books balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: 802.1Q TCI layout: the PCP (priority code point) lives in the top 3 bits.
+PCP_SHIFT = 13
+PCP_MASK = 0x7
+
+
+def packet_priority(pkt) -> int:
+    """The 802.1p priority of a packet (PCP bits of its VLAN TCI)."""
+    return (pkt.vlan_tci >> PCP_SHIFT) & PCP_MASK
+
+
+@dataclass(frozen=True)
+class BufferProfile:
+    """Per-priority buffer carving (packets).
+
+    ``reserved``     private quota always available to this priority;
+    ``shared_max``   cap on spill into the port's shared pool;
+    ``headroom``     cap on draw from the shared headroom pool -- used
+                     only by PFC-enabled priorities, only once XOFF has
+                     been crossed (it absorbs the in-flight frames a
+                     pause frame cannot stop);
+    ``xoff``/``xon`` pause assert/deassert occupancy thresholds.  When
+                     ``xoff`` is None it defaults to the full private +
+                     shared quota (pause only once the quota is gone);
+                     ``xon`` defaults to half of ``xoff``.
+    """
+
+    reserved: int
+    shared_max: int = 0
+    headroom: int = 0
+    xoff: Optional[int] = None
+    xon: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("reserved", "shared_max", "headroom"):
+            if getattr(self, name) < 0:
+                raise ValueError("BufferProfile.%s must be >= 0" % name)
+
+    @property
+    def effective_xoff(self) -> int:
+        return self.xoff if self.xoff is not None else self.reserved + self.shared_max
+
+    @property
+    def effective_xon(self) -> int:
+        return self.xon if self.xon is not None else self.effective_xoff // 2
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """One port-class worth of buffer carving.
+
+    ``profiles``       per-priority :class:`BufferProfile` map;
+    ``shared_size``    size of the port's shared pool (packets);
+    ``headroom_size``  size of the shared headroom pool (packets);
+    ``ports``          ports the config binds to (empty = every port of
+                       the build).
+    """
+
+    profiles: Mapping[int, BufferProfile] = field(default_factory=dict)
+    shared_size: int = 0
+    headroom_size: int = 0
+    ports: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.shared_size < 0 or self.headroom_size < 0:
+            raise ValueError("pool sizes must be >= 0")
+        for prio in self.profiles:
+            if not 0 <= prio <= PCP_MASK:
+                raise ValueError("priority %r outside the 3-bit PCP range" % (prio,))
+
+
+def default_qos() -> QosConfig:
+    """The shipped two-priority carving: lossless prio 0, lossy prio 1.
+
+    Sized against the driver's burst of 32: priority 0 pauses at an
+    occupancy of 48 (inside its 32 + 64 quota) and its 64-packet
+    headroom absorbs more than one full burst of post-XOFF in-flight
+    frames, so a PFC-on incast loses no priority-0 packets.
+    """
+    return QosConfig(
+        profiles={
+            0: BufferProfile(reserved=32, shared_max=64, headroom=64,
+                             xoff=48, xon=16),
+            1: BufferProfile(reserved=16, shared_max=64),
+        },
+        shared_size=96,
+        headroom_size=64,
+    )
+
+
+def tight_qos() -> QosConfig:
+    """A deliberately small carving that congests quickly (test/CI use)."""
+    return QosConfig(
+        profiles={
+            0: BufferProfile(reserved=8, shared_max=16, headroom=40,
+                             xoff=12, xon=4),
+            1: BufferProfile(reserved=4, shared_max=16),
+        },
+        shared_size=24,
+        headroom_size=40,
+    )
+
+
+def shipped_qos_configs() -> Dict[str, QosConfig]:
+    """Named QoS carvings shipped with the repo (CLI ``--qos`` catalog)."""
+    return {"default": default_qos(), "tight": tight_qos()}

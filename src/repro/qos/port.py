@@ -1,0 +1,253 @@
+"""Per-port QoS buffer accounting: admission, pause, and drain.
+
+A :class:`QosPort` sits between the NIC's descriptor ring and the trace
+source, playing the role of a switch MMU for one ingress port:
+
+- **admission** (:meth:`QosPort.admit`): every arriving frame is charged
+  to its priority's reserved quota first, then spills into the shared
+  pool, then -- for PFC-enabled priorities that have crossed XOFF --
+  into the shared headroom pool.  A frame no bucket can hold is dropped
+  and counted; admission never raises on the data path.
+- **pause** (:meth:`QosPort.poll_pause`): the PFCPause element polls
+  occupancy once per driver iteration and asserts/deasserts per-priority
+  pause at the profile's XOFF/XON thresholds.  Paused priorities are
+  reported to the trace source (802.1Qbb pause frames upstream), which
+  stops offering traffic instead of having it dropped.
+- **drain** (:meth:`QosPort.drain`): when a frame leaves the system
+  (transmitted, dropped by an element, or discarded as an RX error) its
+  charge is released headroom-first, then shared, then reserved -- the
+  SONiC "headroom reclaim on drain" order, so pause deasserts as early
+  as possible.
+
+All accounting lives in ``qos.<port>.*`` registry counters (occupancy
+gauges, pause durations, headroom high-water marks) and charges **no
+simulated CPU cost**: like the fault injector's external pressure, the
+MMU is modelled hardware, not cycles on the DUT core.  When no QoS
+config is given, no QosPort exists and every hot path is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.qos.config import PCP_MASK, PCP_SHIFT, QosConfig
+from repro.telemetry.registry import CounterRegistry
+
+
+class QosAccountingError(RuntimeError):
+    """The QoS books went inconsistent (double drain, unknown priority)."""
+
+
+class _PriorityState:
+    """One priority's buckets plus its registry handles."""
+
+    __slots__ = (
+        "profile", "xoff", "xon",
+        "reserved_used", "shared_used", "headroom_used", "paused",
+        "offered", "admitted", "dropped", "drained",
+        "pause_events", "pause_iterations",
+        "occupancy", "occupancy_hwm", "headroom_gauge", "headroom_hwm",
+    )
+
+    def __init__(self, profile, scope, prio: int):
+        self.profile = profile
+        self.xoff = profile.effective_xoff
+        self.xon = profile.effective_xon
+        self.reserved_used = 0
+        self.shared_used = 0
+        self.headroom_used = 0
+        self.paused = False
+        base = "prio%d." % prio
+        self.offered = scope.counter(base + "offered")
+        self.admitted = scope.counter(base + "admitted")
+        self.dropped = scope.counter(base + "dropped")
+        self.drained = scope.counter(base + "drained")
+        self.pause_events = scope.counter(base + "pause_events")
+        self.pause_iterations = scope.counter(base + "pause_iterations")
+        self.occupancy = scope.gauge(base + "occupancy")
+        self.occupancy_hwm = scope.gauge(base + "occupancy_hwm")
+        self.headroom_gauge = scope.gauge(base + "headroom_used")
+        self.headroom_hwm = scope.gauge(base + "headroom_hwm")
+
+    @property
+    def occ(self) -> int:
+        return self.reserved_used + self.shared_used + self.headroom_used
+
+
+class QosPort:
+    """Ingress buffer accounting for one NIC port under one QosConfig."""
+
+    def __init__(self, config: QosConfig, port: int,
+                 registry: Optional[CounterRegistry] = None):
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.port = port
+        self.config = config
+        self.shared_size = config.shared_size
+        self.headroom_size = config.headroom_size
+        self.shared_used = 0
+        self.headroom_pool_used = 0
+        scope = self.registry.scope("qos.%d" % port)
+        self._shared_gauge = scope.gauge("shared.used")
+        self._shared_hwm = scope.gauge("shared.hwm")
+        self._headroom_gauge = scope.gauge("headroom.used")
+        self._headroom_hwm = scope.gauge("headroom.hwm")
+        self.unpooled_drops = scope.counter("unpooled_drops")
+        self._pfc: FrozenSet[int] = frozenset()
+        self._states: Dict[int, _PriorityState] = {
+            prio: _PriorityState(profile, scope, prio)
+            for prio, profile in sorted(config.profiles.items())
+        }
+
+    # -- PFC -----------------------------------------------------------------
+
+    def enable_pfc(self, priorities: Optional[Iterable[int]] = None) -> None:
+        """Mark priorities lossless (pause propagates, headroom usable)."""
+        if priorities is None:
+            self._pfc = frozenset(self._states)
+        else:
+            self._pfc = self._pfc | frozenset(priorities)
+
+    @property
+    def pfc_priorities(self) -> FrozenSet[int]:
+        return self._pfc
+
+    def paused_priorities(self) -> FrozenSet[int]:
+        """Priorities the upstream source currently sees as paused."""
+        return frozenset(
+            prio for prio, state in self._states.items() if state.paused
+        )
+
+    def poll_pause(self) -> None:
+        """One watch iteration: assert XOFF / deassert XON per priority.
+
+        Called by the PFCPause element once per driver iteration; pause
+        state is therefore stable within a burst, and the in-flight
+        remainder of the iteration that crossed XOFF is what the
+        headroom pool absorbs.
+        """
+        for prio in self._pfc:
+            state = self._states.get(prio)
+            if state is None:
+                continue
+            occ = state.occ
+            if state.paused:
+                state.pause_iterations.value += 1
+                if occ <= state.xon:
+                    state.paused = False
+            elif occ >= state.xoff:
+                state.paused = True
+                state.pause_events.value += 1
+                state.pause_iterations.value += 1
+
+    # -- admission / drain ----------------------------------------------------
+
+    def admit(self, pkt) -> bool:
+        """Charge an arriving frame to a bucket, or count the drop.
+
+        Returns False when no bucket can hold the frame; the caller
+        leaves the descriptor unconsumed and the frame never enters the
+        pipeline (it is accounted in ``qos.<port>.prio<p>.dropped``).
+        """
+        prio = (pkt.vlan_tci >> PCP_SHIFT) & PCP_MASK
+        state = self._states.get(prio)
+        if state is None:
+            self.unpooled_drops.value += 1
+            return False
+        state.offered.value += 1
+        profile = state.profile
+        if state.reserved_used < profile.reserved:
+            state.reserved_used += 1
+        elif (state.shared_used < profile.shared_max
+              and self.shared_used < self.shared_size):
+            state.shared_used += 1
+            self.shared_used += 1
+            self._shared_gauge.value = self.shared_used
+            if self.shared_used > self._shared_hwm.value:
+                self._shared_hwm.value = self.shared_used
+        elif (prio in self._pfc
+              and (state.paused or state.occ >= state.xoff)
+              and state.headroom_used < profile.headroom
+              and self.headroom_pool_used < self.headroom_size):
+            state.headroom_used += 1
+            self.headroom_pool_used += 1
+            self._headroom_gauge.value = self.headroom_pool_used
+            if self.headroom_pool_used > self._headroom_hwm.value:
+                self._headroom_hwm.value = self.headroom_pool_used
+            state.headroom_gauge.value = state.headroom_used
+            if state.headroom_used > state.headroom_hwm.value:
+                state.headroom_hwm.value = state.headroom_used
+        else:
+            state.dropped.value += 1
+            return False
+        state.admitted.value += 1
+        occ = state.occ
+        state.occupancy.value = occ
+        if occ > state.occupancy_hwm.value:
+            state.occupancy_hwm.value = occ
+        pkt.qos_ticket = (self, prio)
+        return True
+
+    def drain(self, prio: int) -> None:
+        """Release one frame's charge, headroom-first (SONiC reclaim order)."""
+        state = self._states.get(prio)
+        if state is None:
+            raise QosAccountingError(
+                "drain for priority %d with no buffer profile on port %d"
+                % (prio, self.port))
+        if state.headroom_used:
+            state.headroom_used -= 1
+            self.headroom_pool_used -= 1
+            self._headroom_gauge.value = self.headroom_pool_used
+            state.headroom_gauge.value = state.headroom_used
+        elif state.shared_used:
+            state.shared_used -= 1
+            self.shared_used -= 1
+            self._shared_gauge.value = self.shared_used
+        elif state.reserved_used:
+            state.reserved_used -= 1
+        else:
+            raise QosAccountingError(
+                "drain without a matching admit on port %d priority %d "
+                "(double drain?)" % (self.port, prio))
+        state.drained.value += 1
+        state.occupancy.value = state.occ
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def priorities(self):
+        return tuple(sorted(self._states))
+
+    def occupancy(self, prio: int) -> int:
+        state = self._states.get(prio)
+        return 0 if state is None else state.occ
+
+    def total_occupancy(self) -> int:
+        return sum(state.occ for state in self._states.values())
+
+    def is_paused(self, prio: int) -> bool:
+        state = self._states.get(prio)
+        return False if state is None else state.paused
+
+    def priority_accounts(self) -> Dict[int, Dict[str, int]]:
+        """Raw per-priority books, the audit's ground truth."""
+        return {
+            prio: {
+                "offered": state.offered.value,
+                "admitted": state.admitted.value,
+                "dropped": state.dropped.value,
+                "drained": state.drained.value,
+                "reserved_used": state.reserved_used,
+                "shared_used": state.shared_used,
+                "headroom_used": state.headroom_used,
+                "occupancy": state.occ,
+                "paused": int(state.paused),
+                "pause_events": state.pause_events.value,
+                "pause_iterations": state.pause_iterations.value,
+            }
+            for prio, state in self._states.items()
+        }
+
+    def snapshot(self) -> Dict[str, int]:
+        """The port's ``qos.*`` registry slice (prefix stripped)."""
+        return self.registry.scope("qos.%d" % self.port).snapshot()

@@ -1,0 +1,46 @@
+"""Shared builders for the QoS / congestion-robustness suite."""
+
+import pytest
+
+from repro.core.nfs import qos_forwarder
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import IncastBurstTrace, OversubscribedTrace, TraceSpec
+from repro.qos import tight_qos
+
+
+def incast_trace(limit=1500, seed=7, **kwargs):
+    defaults = dict(senders=8, burst_len=4, period=4, priority=0,
+                    background_rate=2.0, background_priority=1)
+    defaults.update(kwargs)
+    return IncastBurstTrace(limit=limit, spec=TraceSpec(seed=seed), **defaults)
+
+
+def oversub_trace(rates=None, limit=1500, seed=7):
+    return OversubscribedTrace(rates or {0: 8.0, 1: 8.0}, limit=limit,
+                               spec=TraceSpec(seed=seed))
+
+
+def build_qos_forwarder(pfc=True, rate=6, qos=None, trace=None, **mill_kwargs):
+    """The congestion pipeline under the tight carving (fast to congest)."""
+    return PacketMill(
+        qos_forwarder(pfc=pfc, rate=rate),
+        params=MachineParams(),
+        trace=trace if trace is not None else incast_trace(),
+        qos=qos or tight_qos(),
+        **mill_kwargs,
+    ).build()
+
+
+def run_to_eof(driver, max_steps=10_000):
+    steps = 0
+    while not driver.at_eof() and steps < max_steps:
+        driver.step()
+        steps += 1
+    assert driver.at_eof(), "run did not reach EOF within %d steps" % max_steps
+    return steps
+
+
+@pytest.fixture
+def qos_builder():
+    return build_qos_forwarder

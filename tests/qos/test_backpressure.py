@@ -1,0 +1,142 @@
+"""End-to-end congestion runs: PFC backpressure vs the lossy baseline."""
+
+import pytest
+
+from repro.core.packetmill import BuildError, PacketMill
+from repro.core.nfs import forwarder, qos_forwarder
+from repro.faults import (
+    assert_no_leak,
+    assert_qos_conserved,
+    check_conservation,
+    qos_audit,
+)
+from repro.hw.params import MachineParams
+from repro.perf.report import CONGESTED, HEALTHY, classify_qos, format_qos_report
+from repro.qos import default_qos, tight_qos
+
+from tests.qos.conftest import (
+    build_qos_forwarder,
+    incast_trace,
+    oversub_trace,
+    run_to_eof,
+)
+
+pytestmark = pytest.mark.qos
+
+
+class TestIncast:
+    def test_pfc_on_loses_no_priority0_frames(self):
+        binary = build_qos_forwarder(pfc=True)
+        run_to_eof(binary.driver)
+        books = qos_audit(binary.driver)[0]["priorities"]
+        assert books[0]["dropped"] == 0
+        assert books[0]["pause_events"] > 0
+
+    def test_pfc_off_baseline_drops_priority0(self):
+        binary = build_qos_forwarder(pfc=False)
+        run_to_eof(binary.driver)
+        books = qos_audit(binary.driver)[0]["priorities"]
+        assert books[0]["dropped"] > 0
+        assert books[0]["pause_events"] == 0
+
+    def test_headroom_absorbs_post_xoff_inflight(self):
+        binary = build_qos_forwarder(pfc=True)
+        run_to_eof(binary.driver)
+        snap = binary.qos_ports[0].snapshot()
+        assert snap["headroom.hwm"] > 0
+        assert snap["headroom.used"] == 0  # fully reclaimed at EOF
+
+    def test_all_audits_clean_at_eof(self):
+        for pfc in (False, True):
+            binary = build_qos_forwarder(pfc=pfc)
+            run_to_eof(binary.driver)
+            assert_qos_conserved(binary.driver)
+            assert check_conservation(binary.driver)["balance"] == 0
+            binary.driver.quiesce()
+            assert_no_leak(binary.driver)
+
+    def test_pure_lossless_traffic_never_deadlocks(self):
+        trace = incast_trace(background_rate=0.0, period=2, limit=400)
+        binary = build_qos_forwarder(pfc=True, rate=4, trace=trace)
+        run_to_eof(binary.driver)
+        assert binary.driver.stats.tx_packets == 400
+
+
+class TestOversubscription:
+    def test_sustained_overload_paces_source(self):
+        trace = oversub_trace(rates={0: 16.0, 1: 16.0}, limit=1200)
+        binary = build_qos_forwarder(pfc=True, rate=6, trace=trace)
+        run_to_eof(binary.driver)
+        books = qos_audit(binary.driver)[0]["priorities"]
+        assert books[0]["dropped"] == 0       # paused, not dropped
+        assert books[1]["dropped"] > 0        # lossy class takes the loss
+        assert trace.source_throttled > 0     # shed load is accounted
+        assert_qos_conserved(binary.driver)
+
+    def test_undersubscribed_run_stays_healthy(self):
+        trace = oversub_trace(rates={0: 2.0, 1: 2.0}, limit=600)
+        binary = build_qos_forwarder(pfc=True, rate=6, trace=trace)
+        run_to_eof(binary.driver)
+        audit = qos_audit(binary.driver)
+        assert classify_qos(audit) == HEALTHY
+        assert binary.driver.stats.tx_packets == 600
+
+
+class TestNicAdmission:
+    def test_refused_frame_does_not_consume_descriptor(self):
+        # No PFC, tiny buffers: admission refusals leave the descriptor
+        # for the next accepted frame; rx_delivered counts only admitted.
+        binary = build_qos_forwarder(pfc=False)
+        run_to_eof(binary.driver)
+        nic = binary.pmds[0].nic
+        books = qos_audit(binary.driver)[0]["priorities"]
+        admitted = sum(acc["admitted"] for acc in books.values())
+        assert nic.rx_delivered == admitted
+
+    def test_paused_priority_stops_at_source(self):
+        trace = oversub_trace(rates={0: 20.0}, limit=800)
+        binary = build_qos_forwarder(pfc=True, rate=4, trace=trace)
+        run_to_eof(binary.driver)
+        books = qos_audit(binary.driver)[0]["priorities"]
+        # Pause throttled the source: zero lossless drops despite 5x load.
+        assert books[0]["dropped"] == 0
+        assert books[0]["pause_iterations"] > 0
+
+
+class TestReporting:
+    def test_classify_and_format(self):
+        binary = build_qos_forwarder(pfc=True)
+        run_to_eof(binary.driver)
+        audit = qos_audit(binary.driver)
+        assert classify_qos(audit) == CONGESTED
+        text = format_qos_report(audit, label="incast")
+        assert "incast: congested" in text
+        assert "prio 0:" in text
+        assert "CONSERVATION VIOLATION" not in text
+
+
+class TestBuildWiring:
+    def test_pause_without_qos_config_refuses_build(self):
+        with pytest.raises(BuildError, match="no QoS buffer"):
+            PacketMill(qos_forwarder(pfc=True),
+                       params=MachineParams()).build()
+
+    def test_qos_port_not_in_graph_refuses_build(self):
+        from repro.qos import BufferProfile, QosConfig
+
+        config = QosConfig(profiles={0: BufferProfile(reserved=8)},
+                           ports=(3,))
+        with pytest.raises(BuildError, match="port 3"):
+            PacketMill(qos_forwarder(pfc=False), params=MachineParams(),
+                       qos=config).build()
+
+    def test_plain_config_with_qos_admits_transparently(self):
+        # A QoS carving on a non-congested pipeline: pure accounting.
+        binary = PacketMill(forwarder(), params=MachineParams(),
+                            qos=default_qos()).build()
+        binary.driver.run_batches(30)
+        audit = qos_audit(binary.driver)
+        assert classify_qos(audit) == HEALTHY
+        books = audit[0]["priorities"][0]
+        assert books["offered"] == books["admitted"] > 0
+        assert_qos_conserved(binary.driver)

@@ -1,0 +1,100 @@
+"""QoS lints: misconfigured carvings and unbound pause elements."""
+
+import pytest
+
+from repro.analyze import ERROR, WARNING, analyze_config, lint_qos, lint_qos_config
+from repro.click.graph import ProcessingGraph
+from repro.core import nfs
+from repro.qos import BufferProfile, QosConfig, default_qos
+
+pytestmark = [pytest.mark.qos, pytest.mark.analyze]
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def _graph(pfc=True):
+    return ProcessingGraph.from_text(nfs.qos_forwarder(pfc=pfc))
+
+
+def carving(**kwargs):
+    defaults = dict(
+        profiles={0: BufferProfile(reserved=4, shared_max=8, headroom=4,
+                                   xoff=10, xon=4),
+                  1: BufferProfile(reserved=4, shared_max=8)},
+        shared_size=8,
+        headroom_size=4,
+    )
+    defaults.update(kwargs)
+    return QosConfig(**defaults)
+
+
+class TestConfigLints:
+    def test_consistent_carving_is_clean(self):
+        assert lint_qos_config(carving()) == []
+
+    def test_headroom_exceeding_pool_is_error(self):
+        config = carving(headroom_size=2)
+        (finding,) = [f for f in lint_qos_config(config)
+                      if f.rule == "qos-headroom-exceeds-pool"]
+        assert finding.severity == ERROR
+        assert finding.subject == "prio0"
+
+    def test_shared_quota_above_pool_is_warning(self):
+        config = carving(shared_size=6)
+        findings = [f for f in lint_qos_config(config)
+                    if f.rule == "qos-shared-exceeds-pool"]
+        assert {f.severity for f in findings} == {WARNING}
+
+    def test_xon_above_xoff_is_error(self):
+        config = carving()
+        config.profiles[0] = BufferProfile(reserved=4, shared_max=8,
+                                           headroom=4, xoff=5, xon=9)
+        assert "qos-xon-above-xoff" in _rules(lint_qos_config(config))
+
+    def test_unreachable_xoff_is_warning(self):
+        config = carving()
+        config.profiles[0] = BufferProfile(reserved=2, shared_max=2,
+                                           headroom=4, xoff=50, xon=1)
+        (finding,) = [f for f in lint_qos_config(config)
+                      if f.rule == "qos-xoff-unreachable"]
+        assert finding.severity == WARNING
+
+
+class TestGraphLints:
+    def test_pause_without_any_config_is_error(self):
+        (finding,) = lint_qos(_graph(pfc=True))
+        assert finding.rule == "qos-pause-unbound"
+        assert finding.severity == ERROR
+        assert finding.subject == "pfc"
+
+    def test_no_qos_elements_no_config_is_silent(self):
+        graph = ProcessingGraph.from_text(nfs.forwarder())
+        assert lint_qos(graph) == []
+
+    def test_pause_port_outside_config_coverage(self):
+        config = carving(ports=(3,))
+        findings = lint_qos(_graph(pfc=True), qos=config)
+        assert "qos-pause-unbound" in _rules(findings)
+
+    def test_pause_priority_without_profile_is_error(self):
+        config = carving(profiles={1: BufferProfile(reserved=4)})
+        findings = [f for f in lint_qos(_graph(pfc=True), qos=config)
+                    if f.rule == "qos-priority-no-pool"]
+        # pfc watches prio 0 (error); PrioritySwitch output 0 (warning).
+        assert sorted(f.severity for f in findings) == [ERROR, WARNING]
+
+    def test_switch_output_without_profile_is_warning(self):
+        config = carving(profiles={0: BufferProfile(reserved=4, shared_max=8,
+                                                    headroom=4, xoff=10,
+                                                    xon=4)})
+        findings = [f for f in lint_qos(_graph(pfc=True), qos=config)
+                    if f.rule == "qos-priority-no-pool"]
+        assert [f.severity for f in findings] == [WARNING]
+        assert "output priority 1" in findings[0].message
+
+    def test_bound_forwarder_with_shipped_carving_is_clean(self):
+        report = analyze_config(nfs.qos_forwarder(pfc=True),
+                                qos=default_qos())
+        assert [f for f in report.findings if f.rule.startswith("qos-")] == []

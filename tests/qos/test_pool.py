@@ -1,0 +1,222 @@
+"""Unit tests for QosPort: admission chain, pause thresholds, drain order."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.qos import (
+    BufferProfile,
+    QosAccountingError,
+    QosConfig,
+    QosPort,
+    default_qos,
+    packet_priority,
+    shipped_qos_configs,
+    tight_qos,
+)
+
+pytestmark = pytest.mark.qos
+
+
+def frame(priority=0):
+    pkt = Packet(bytes(64))
+    pkt.priority = priority
+    return pkt
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        profiles={0: BufferProfile(reserved=2, shared_max=3, headroom=4,
+                                   xoff=4, xon=1)},
+        shared_size=3,
+        headroom_size=4,
+    )
+    defaults.update(kwargs)
+    return QosConfig(**defaults)
+
+
+class TestPriorityEncoding:
+    def test_priority_is_pcp_bits(self):
+        pkt = Packet(bytes(64))
+        pkt.vlan_tci = (5 << 13) | 0x123
+        assert pkt.priority == 5
+        assert packet_priority(pkt) == 5
+
+    def test_priority_setter_preserves_vid(self):
+        pkt = Packet(bytes(64))
+        pkt.vlan_tci = 0x123
+        pkt.priority = 3
+        assert pkt.priority == 3
+        assert pkt.vlan_tci & 0x1FFF == 0x123
+
+    def test_clone_copies_priority_but_not_ticket(self):
+        pool = QosPort(small_config(), port=0)
+        pkt = frame(0)
+        assert pool.admit(pkt)
+        clone = pkt.clone()
+        assert clone.priority == 0
+        assert clone.qos_ticket is None
+        assert pkt.qos_ticket == (pool, 0)
+
+
+class TestAdmissionChain:
+    def test_reserved_then_shared_then_drop(self):
+        pool = QosPort(small_config(), port=0)  # PFC off: no headroom
+        admitted = [pool.admit(frame()) for _ in range(10)]
+        # 2 reserved + 3 shared admitted, rest refused.
+        assert admitted.count(True) == 5
+        acc = pool.priority_accounts()[0]
+        assert acc["reserved_used"] == 2
+        assert acc["shared_used"] == 3
+        assert acc["headroom_used"] == 0
+        assert acc["offered"] == 10
+        assert acc["dropped"] == 5
+
+    def test_headroom_needs_pfc_and_xoff(self):
+        pool = QosPort(small_config(), port=0)
+        pool.enable_pfc([0])
+        results = [pool.admit(frame()) for _ in range(9)]
+        # 2 reserved + 3 shared + 4 headroom (occ >= xoff=4 by then).
+        assert results.count(True) == 9
+        acc = pool.priority_accounts()[0]
+        assert acc["headroom_used"] == 4
+        assert not pool.admit(frame())  # all buckets full
+
+    def test_shared_pool_cap_binds_across_priorities(self):
+        config = QosConfig(
+            profiles={0: BufferProfile(reserved=1, shared_max=4),
+                      1: BufferProfile(reserved=1, shared_max=4)},
+            shared_size=4,
+        )
+        pool = QosPort(config, port=0)
+        for _ in range(4):
+            assert pool.admit(frame(0))  # 1 reserved + 3 shared
+        assert pool.admit(frame(1))      # 1 reserved
+        assert pool.admit(frame(1))      # takes the last shared cell
+        assert pool.shared_used == 4
+        assert not pool.admit(frame(1))  # pool exhausted despite quota room
+
+    def test_unprofiled_priority_counts_unpooled(self):
+        pool = QosPort(small_config(), port=0)
+        assert not pool.admit(frame(7))
+        assert pool.unpooled_drops.value == 1
+        assert pool.priority_accounts()[0]["offered"] == 0
+
+
+class TestPause:
+    def test_pause_asserts_at_xoff_and_deasserts_at_xon(self):
+        pool = QosPort(small_config(), port=0)
+        pool.enable_pfc([0])
+        for _ in range(4):
+            pool.admit(frame())
+        assert not pool.is_paused(0)
+        pool.poll_pause()
+        assert pool.is_paused(0)
+        assert pool.paused_priorities() == frozenset({0})
+        for _ in range(3):  # occ 4 -> 1 == xon
+            pool.drain(0)
+        pool.poll_pause()
+        assert not pool.is_paused(0)
+
+    def test_pause_counters(self):
+        pool = QosPort(small_config(), port=0)
+        pool.enable_pfc()
+        for _ in range(4):
+            pool.admit(frame())
+        pool.poll_pause()
+        pool.poll_pause()
+        acc = pool.priority_accounts()[0]
+        assert acc["pause_events"] == 1
+        assert acc["pause_iterations"] == 2
+
+    def test_no_pause_without_pfc(self):
+        pool = QosPort(small_config(), port=0)
+        for _ in range(5):
+            pool.admit(frame())
+        pool.poll_pause()
+        assert not pool.is_paused(0)
+
+
+class TestDrain:
+    def test_drain_reclaims_headroom_first(self):
+        pool = QosPort(small_config(), port=0)
+        pool.enable_pfc([0])
+        for _ in range(9):
+            pool.admit(frame())
+        assert pool.headroom_pool_used == 4
+        pool.drain(0)
+        acc = pool.priority_accounts()[0]
+        assert acc["headroom_used"] == 3
+        assert acc["shared_used"] == 3  # untouched until headroom empty
+        for _ in range(3):
+            pool.drain(0)
+        assert pool.headroom_pool_used == 0
+        pool.drain(0)
+        assert pool.priority_accounts()[0]["shared_used"] == 2
+
+    def test_double_drain_raises(self):
+        pool = QosPort(small_config(), port=0)
+        pool.admit(frame())
+        pool.drain(0)
+        with pytest.raises(QosAccountingError):
+            pool.drain(0)
+
+    def test_drain_unknown_priority_raises(self):
+        pool = QosPort(small_config(), port=0)
+        with pytest.raises(QosAccountingError):
+            pool.drain(5)
+
+
+class TestTelemetry:
+    def test_counters_live_under_qos_scope(self):
+        pool = QosPort(small_config(), port=3)
+        pool.enable_pfc([0])
+        for _ in range(9):
+            pool.admit(frame())
+        snap = pool.snapshot()
+        assert snap["prio0.offered"] == 9
+        assert snap["prio0.occupancy"] == 9
+        assert snap["shared.used"] == 3
+        assert snap["headroom.used"] == 4
+        assert snap["headroom.hwm"] == 4
+        assert snap["prio0.occupancy_hwm"] == 9
+        names = pool.registry.names()
+        assert "qos.3.prio0.admitted" in names
+
+    def test_hwm_survives_drain(self):
+        pool = QosPort(small_config(), port=0)
+        pool.enable_pfc([0])
+        for _ in range(9):
+            pool.admit(frame())
+        for _ in range(9):
+            pool.drain(0)
+        snap = pool.snapshot()
+        assert snap["prio0.occupancy"] == 0
+        assert snap["headroom.used"] == 0
+        assert snap["prio0.occupancy_hwm"] == 9
+        assert snap["headroom.hwm"] == 4
+
+
+class TestConfig:
+    def test_shipped_configs(self):
+        shipped = shipped_qos_configs()
+        assert set(shipped) == {"default", "tight"}
+        assert shipped["default"].profiles[0].headroom == 64
+
+    def test_effective_thresholds_default(self):
+        profile = BufferProfile(reserved=10, shared_max=20)
+        assert profile.effective_xoff == 30
+        assert profile.effective_xon == 15
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(ValueError):
+            BufferProfile(reserved=-1)
+
+    def test_priority_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QosConfig(profiles={8: BufferProfile(reserved=1)})
+
+    def test_shipped_carvings_are_internally_consistent(self):
+        from repro.analyze.qos import lint_qos_config
+
+        for config in (default_qos(), tight_qos()):
+            assert lint_qos_config(config) == []

@@ -1,0 +1,100 @@
+"""Property tests: any congestion schedule conserves the buffer books.
+
+For arbitrary oversubscription mixes and incast shapes, PFC on or off,
+under the tight or default carving:
+
+- per-priority accounting balances exactly (offered == admitted +
+  dropped; admitted - drained == occupancy);
+- the shared pool and headroom sums match the per-priority books, and
+  no headroom is stranded once queues drain;
+- the mempool ledger balances and nothing leaks after quiesce.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import assert_no_leak, assert_qos_conserved, check_conservation
+from repro.net.trace import IncastBurstTrace, OversubscribedTrace, TraceSpec
+from repro.qos import default_qos, tight_qos
+
+from tests.qos.conftest import build_qos_forwarder, run_to_eof
+
+pytestmark = pytest.mark.qos
+
+rate_maps = st.dictionaries(
+    keys=st.integers(0, 1),
+    values=st.floats(0.5, 24.0, allow_nan=False),
+    min_size=1,
+    max_size=2,
+)
+
+
+@st.composite
+def oversub_traces(draw):
+    rates = draw(rate_maps)
+    limit = draw(st.integers(100, 900))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return OversubscribedTrace(rates, limit=limit, spec=TraceSpec(seed=seed))
+
+
+@st.composite
+def incast_traces(draw):
+    return IncastBurstTrace(
+        senders=draw(st.integers(2, 12)),
+        burst_len=draw(st.integers(1, 6)),
+        period=draw(st.integers(2, 10)),
+        priority=0,
+        background_rate=draw(st.floats(0.0, 8.0, allow_nan=False)),
+        background_priority=1,
+        limit=draw(st.integers(100, 900)),
+        spec=TraceSpec(seed=draw(st.integers(0, 2**32 - 1))),
+    )
+
+
+traces = st.one_of(oversub_traces(), incast_traces())
+carvings = st.sampled_from([tight_qos, default_qos])
+
+
+@settings(max_examples=12, deadline=None)
+@given(trace=traces, pfc=st.booleans(), carving=carvings,
+       rate=st.integers(2, 12))
+def test_any_congestion_schedule_conserves_buffers(trace, pfc, carving, rate):
+    binary = build_qos_forwarder(pfc=pfc, rate=rate, qos=carving(),
+                                 trace=trace)
+    run_to_eof(binary.driver, max_steps=20_000)
+    assert_qos_conserved(binary.driver)
+    pool = binary.qos_ports[0]
+    for acc in pool.priority_accounts().values():
+        assert acc["offered"] == acc["admitted"] + acc["dropped"]
+        assert acc["occupancy"] == 0  # fully drained at EOF
+    assert pool.headroom_pool_used == 0
+    assert pool.shared_used == 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(trace=traces, pfc=st.booleans())
+def test_any_congestion_schedule_balances_mempool(trace, pfc):
+    binary = build_qos_forwarder(pfc=pfc, trace=trace)
+    run_to_eof(binary.driver, max_steps=20_000)
+    ledger = check_conservation(binary.driver)
+    assert ledger["balance"] == 0
+    binary.driver.quiesce()
+    audit = assert_no_leak(binary.driver)
+    assert audit["leak"] == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(trace=oversub_traces(), pfc=st.booleans())
+def test_congested_runs_are_deterministic(trace, pfc):
+    def run(t):
+        binary = build_qos_forwarder(pfc=pfc, trace=t)
+        run_to_eof(binary.driver, max_steps=20_000)
+        stats = binary.driver.stats
+        books = binary.qos_ports[0].snapshot()
+        return (stats.rx_packets, stats.tx_packets, stats.drops,
+                tuple(sorted(books.items())))
+
+    clone = OversubscribedTrace(dict(trace.rates), limit=trace.limit,
+                                spec=TraceSpec(seed=trace.spec.seed))
+    assert run(trace) == run(clone)

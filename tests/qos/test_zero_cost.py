@@ -1,0 +1,73 @@
+"""QoS must be provably free when not configured -- and invisible when
+configured onto an uncongested pipeline.
+
+Two guarantees:
+
+1. A build without ``qos=`` carries zero QoS machinery: no pool on the
+   NIC, no tick elements, no qos_ports on the driver.
+2. The same pipeline, same trace, with a QoS carving that never
+   congests produces *bit-identical* forwarding output and identical
+   simulated CPU cycles -- QoS accounting is bookkeeping, not work the
+   simulated core performs.
+"""
+
+import pytest
+
+from repro.core import nfs
+from repro.core.packetmill import PacketMill
+from repro.hw.params import MachineParams
+from repro.net.trace import FiniteTrace, FixedSizeTraceGenerator, TraceSpec
+from repro.qos import default_qos
+
+pytestmark = pytest.mark.qos
+
+PACKETS = 400
+
+
+def build(config=None, qos=None):
+    trace = lambda port, core: FiniteTrace(
+        FixedSizeTraceGenerator(256, TraceSpec(seed=11)), PACKETS)
+    return PacketMill(config or nfs.forwarder(), params=MachineParams(),
+                      trace=trace, qos=qos).build()
+
+
+def fingerprint(binary):
+    driver = binary.driver
+    while not driver.at_eof():
+        driver.step()
+    stats = driver.stats
+    return (stats.rx_packets, stats.tx_packets, stats.tx_bytes, stats.drops,
+            stats.batches, round(driver.cpu.core_cycles, 6),
+            driver.cpu.instructions)
+
+
+class TestUnconfiguredIsZeroCost:
+    def test_no_qos_machinery_without_config(self):
+        binary = build()
+        assert binary.qos_ports == {}
+        assert binary.driver.qos_ports == {}
+        for pmd in binary.pmds.values():
+            assert pmd.nic.qos is None
+        assert binary.driver.tick_elements == []
+
+    def test_qos_free_run_has_no_qos_counters(self):
+        binary = build()
+        while not binary.driver.at_eof():
+            binary.driver.step()
+        names = binary.telemetry.registry.names()
+        assert not any(name.startswith("qos.") for name in names)
+
+
+class TestConfiguredIsBitIdentical:
+    def test_uncongested_run_is_bit_identical_with_and_without_qos(self):
+        bare = fingerprint(build())
+        carved = fingerprint(build(qos=default_qos()))
+        assert bare == carved
+
+    def test_carved_run_still_reports_its_books(self):
+        binary = build(qos=default_qos())
+        while not binary.driver.at_eof():
+            binary.driver.step()
+        acc = binary.qos_ports[0].priority_accounts()[0]
+        assert acc["offered"] == acc["admitted"] == acc["drained"] == PACKETS
+        assert acc["dropped"] == 0
