@@ -23,8 +23,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PacketMill",
+    "RunProfile",
     "BuildOptions",
     "MetadataModel",
+    "ExecutionTier",
+    "TierPolicy",
     "FaultSchedule",
     "FaultSpec",
     "CounterRegistry",
@@ -37,8 +40,11 @@ __all__ = [
 
 _LAZY = {
     "PacketMill": ("repro.core.packetmill", "PacketMill"),
+    "RunProfile": ("repro.core.profile", "RunProfile"),
     "BuildOptions": ("repro.core.options", "BuildOptions"),
     "MetadataModel": ("repro.core.options", "MetadataModel"),
+    "ExecutionTier": ("repro.compiler.runtime", "ExecutionTier"),
+    "TierPolicy": ("repro.compiler.runtime", "TierPolicy"),
     "FaultSchedule": ("repro.faults.schedule", "FaultSchedule"),
     "FaultSpec": ("repro.faults.schedule", "FaultSpec"),
     "CounterRegistry": ("repro.telemetry.registry", "CounterRegistry"),

@@ -146,14 +146,33 @@ def _class_handlers(element) -> Dict[str, Handler]:
 
 
 #: Virtual handler prefix exposing the process-wide execution caches
-#: (build/trace/point memoization) alongside the per-element handlers.
+#: (build/trace/codegen/point memoization) alongside the per-element
+#: handlers.
 EXEC_CACHE_PREFIX = "exec.cache."
+
+#: Virtual handler prefix for the generated-code execution tier's
+#: process-wide counters (compiles, memo hits, self-checks, fallbacks).
+EXEC_CODEGEN_PREFIX = "exec.codegen."
 
 
 def _exec_cache_counters() -> Dict[str, int]:
     from repro.exec import cache as exec_cache
 
     return exec_cache.stats()
+
+
+def _exec_codegen_counters() -> Dict[str, int]:
+    from repro.compiler import codegen
+
+    return codegen.stats()
+
+
+#: The virtual (process-wide) namespaces served by every broker:
+#: prefix -> snapshot provider.
+VIRTUAL_NAMESPACES = (
+    (EXEC_CACHE_PREFIX, _exec_cache_counters),
+    (EXEC_CODEGEN_PREFIX, _exec_codegen_counters),
+)
 
 
 class HandlerBroker:
@@ -199,15 +218,17 @@ class HandlerBroker:
             return "\n".join(
                 "%s: %s" % (full, value) for full, value in matches.items()
             )
-        if path.startswith(EXEC_CACHE_PREFIX):
-            counters = _exec_cache_counters()
-            name = path[len(EXEC_CACHE_PREFIX):]
-            if name not in counters:
-                raise HandlerError(
-                    "no exec-cache counter %r; available: %s"
-                    % (name, ", ".join(sorted(counters)))
-                )
-            return str(counters[name])
+        for prefix, snapshot in VIRTUAL_NAMESPACES:
+            if path.startswith(prefix):
+                counters = snapshot()
+                name = path[len(prefix):]
+                if name not in counters:
+                    raise HandlerError(
+                        "no %s counter %r; available: %s"
+                        % (prefix.rstrip("."), name,
+                           ", ".join(sorted(counters)))
+                    )
+                return str(counters[name])
         element, handler = self._split(path)
         if not handler.readable:
             raise HandlerError("handler %r is not readable" % path)
@@ -216,11 +237,12 @@ class HandlerBroker:
     def read_many(self, pattern: str) -> Dict[str, str]:
         """Glob read: ``{element.handler: value}`` for readable matches."""
         out: Dict[str, str] = {}
-        counters = _exec_cache_counters()
-        for cname in sorted(counters):
-            full = EXEC_CACHE_PREFIX + cname
-            if fnmatchcase(full, pattern):
-                out[full] = str(counters[cname])
+        for prefix, snapshot in VIRTUAL_NAMESPACES:
+            counters = snapshot()
+            for cname in sorted(counters):
+                full = prefix + cname
+                if fnmatchcase(full, pattern):
+                    out[full] = str(counters[cname])
         for name in sorted(self.graph.elements):
             element = self.graph.elements[name]
             for hname, handler in sorted(self._handlers_of(element).items()):

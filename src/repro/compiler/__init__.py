@@ -11,8 +11,21 @@ Struct layouts (:mod:`repro.compiler.structlayout`) give every metadata
 field a byte offset, so the LTO field-reordering pass has its real effect:
 hot fields migrate into the first cache line and fewer lines are loaded
 per packet.
+
+Execution happens through one of three bit-identical tiers behind the
+:class:`~repro.compiler.runtime.ExecutionTier` API: the lowered-op
+interpreter, the cached op-tuple loop, or per-program generated Python
+(:mod:`repro.compiler.codegen`) with constants and offsets baked in --
+the runtime analogue of the paper's source-code specialization.
 """
 
+from repro.compiler.runtime import (
+    DEFAULT_TIER,
+    ExecutionTier,
+    TierPolicy,
+    TierSelection,
+    select_tier,
+)
 from repro.compiler.ir import (
     BranchHint,
     Compute,
@@ -32,8 +45,10 @@ from repro.compiler.structlayout import Field, LayoutRegistry, StructLayout
 __all__ = [
     "BranchHint",
     "Compute",
+    "DEFAULT_TIER",
     "DataAccess",
     "DirectCall",
+    "ExecutionTier",
     "Field",
     "FieldAccess",
     "LayoutRegistry",
@@ -44,5 +59,8 @@ __all__ = [
     "RandomAccess",
     "StateAccess",
     "StructLayout",
+    "TierPolicy",
+    "TierSelection",
     "VirtualCall",
+    "select_tier",
 ]

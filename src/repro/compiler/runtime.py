@@ -13,11 +13,34 @@ the per-packet loop does tuple unpacking and an index into the base-address
 tuple instead of dataclass attribute lookups and string compares.  The
 sequence and arguments of the ``cpu`` charge calls are unchanged, so the
 specialization is bit-exact.
+
+This module is also home to the **execution-tier API**.  The runtime has
+grown three bit-identical ways of charging a program:
+
+- :data:`ExecutionTier.INTERPRETER` -- walk the lowered ``MemOp``
+  dataclasses per packet (:func:`execute_interpreted`), the pre-PR4
+  reference semantics;
+- :data:`ExecutionTier.COMPILED` -- the cached op-tuple loop
+  (:func:`execute_bases`), the default;
+- :data:`ExecutionTier.CODEGEN` -- per-program generated Python
+  (:mod:`repro.compiler.codegen`), constants and offsets baked into
+  specialized source.
+
+:func:`select_tier` is the one place tier and fast-path guard decisions
+are made: callers describe their instrumentation (faults, watchdog,
+telemetry) and get back a :class:`TierSelection` with the effective tier
+and whether the route-memoization fast path may engage.  ``REPRO_TIER``
+picks the requested tier per process; ``REPRO_ROUTE_MEMO`` governs the
+fast path (``REPRO_FASTPATH`` remains a deprecated alias).
 """
 
 from __future__ import annotations
 
+import enum
+import os
+import warnings
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.compiler.lower import (
     TARGET_DATA,
@@ -118,3 +141,199 @@ def execute(cpu, program: ExecProgram, bindings: Bindings) -> None:
         bindings.data,
         bindings.state,
     )
+
+
+def execute_interpreted(cpu, program: ExecProgram, meta: int, mbuf: int,
+                        descriptor: int, data: int, state: int) -> None:
+    """The reference interpreter: walk the lowered ops per packet.
+
+    Resolves every :class:`~repro.compiler.lower.MemOp` through attribute
+    access and a target-tag dict lookup on each packet -- the pre-PR4
+    semantics the faster tiers must stay bit-identical to.
+    """
+    cpu.charge_compute(program.instructions)
+    if program.branch_miss_expect:
+        cpu.charge_branch_miss(program.branch_miss_expect)
+    bases = (meta, mbuf, descriptor, data, state)
+    for op in program.mem_ops:
+        cpu.mem_access(bases[TARGET_INDEX[op.target]] + op.offset,
+                       op.size, op.write, 0.0)
+    for footprint, count in program.random_ops:
+        for _ in range(count):
+            cpu.random_access(footprint, 0.0)
+
+
+# -- execution tiers -----------------------------------------------------------
+
+
+class ExecutionTier(enum.Enum):
+    """How lowered programs are charged to the hardware model."""
+
+    INTERPRETER = "interpreter"
+    COMPILED = "compiled"
+    CODEGEN = "codegen"
+
+
+#: Escalation order; falling back means moving left.
+TIER_ORDER = (
+    ExecutionTier.INTERPRETER,
+    ExecutionTier.COMPILED,
+    ExecutionTier.CODEGEN,
+)
+
+DEFAULT_TIER = ExecutionTier.COMPILED
+
+_OFF_VALUES = ("0", "false", "off", "no")
+
+
+def as_tier(value: Union[None, str, "ExecutionTier"]) -> Optional[ExecutionTier]:
+    """Coerce a user-facing tier spelling to the enum (``None`` passes)."""
+    if value is None or isinstance(value, ExecutionTier):
+        return value
+    try:
+        return ExecutionTier(str(value).lower())
+    except ValueError:
+        raise ValueError(
+            "unknown execution tier %r (expected %s)"
+            % (value, "/".join(t.value for t in TIER_ORDER))
+        ) from None
+
+
+def tier_from_env() -> Optional[ExecutionTier]:
+    """The process-wide requested tier (``REPRO_TIER``), if set."""
+    raw = os.environ.get("REPRO_TIER", "").strip()
+    if not raw:
+        return None
+    return as_tier(raw)
+
+
+_fastpath_env_warned = False
+
+
+def route_memo_from_env() -> bool:
+    """Whether the packet-class route-memo fast path is requested.
+
+    ``REPRO_ROUTE_MEMO`` is the current gate; ``REPRO_FASTPATH`` keeps
+    working as a deprecated alias with a one-time warning.
+    """
+    value = os.environ.get("REPRO_ROUTE_MEMO")
+    if value is not None:
+        return value.lower() not in _OFF_VALUES
+    legacy = os.environ.get("REPRO_FASTPATH")
+    if legacy is not None:
+        global _fastpath_env_warned
+        if not _fastpath_env_warned:
+            _fastpath_env_warned = True
+            warnings.warn(
+                "REPRO_FASTPATH is deprecated; use REPRO_ROUTE_MEMO or "
+                "TierPolicy(route_memo=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return legacy.lower() not in _OFF_VALUES
+    return True
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """What the caller *wants*; ``None`` fields defer to the environment.
+
+    - ``tier``: requested :class:`ExecutionTier` (``REPRO_TIER``,
+      default :data:`DEFAULT_TIER`);
+    - ``route_memo``: allow the pure-classifier route-memoization fast
+      path (``REPRO_ROUTE_MEMO``, default on);
+    - ``check``: replay generated kernels against the interpreter at
+      compile time (``REPRO_TIER_CHECK``, default on).
+    """
+
+    tier: Union[None, str, ExecutionTier] = None
+    route_memo: Optional[bool] = None
+    check: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class TierSelection:
+    """The effective execution decisions for one driver/PMD build."""
+
+    tier: ExecutionTier
+    route_memo: bool
+    check: bool
+    requested: ExecutionTier
+    demoted: bool = False
+    reason: str = ""
+
+
+def as_policy(value) -> TierPolicy:
+    """Coerce ``None`` / tier / spelling / policy to a :class:`TierPolicy`."""
+    if value is None:
+        return TierPolicy()
+    if isinstance(value, TierPolicy):
+        return value
+    return TierPolicy(tier=as_tier(value))
+
+
+def select_tier(
+    policy: Union[None, str, ExecutionTier, TierPolicy] = None,
+    *,
+    faults: bool = False,
+    watchdog: bool = False,
+    telemetry: bool = False,
+) -> TierSelection:
+    """Resolve the effective tier and fast-path guards for one build.
+
+    The single replacement for the scattered ``REPRO_FASTPATH`` checks:
+
+    - the generated-code tier self-disables (falls back to the compiled
+      tier) when fault injection or watchdog recovery is active, exactly
+      like the PR 4 fast path -- instrumented runs keep the battle-tested
+      interpreter loops;
+    - the route-memo fast path additionally requires telemetry recorders
+      to be off, because memoized routes skip per-packet ``process()``
+      observation.
+    """
+    policy = as_policy(policy)
+    requested = as_tier(policy.tier)
+    if requested is None:
+        requested = tier_from_env() or DEFAULT_TIER
+    tier = requested
+    demoted = False
+    reason = ""
+    if tier is ExecutionTier.CODEGEN and (faults or watchdog):
+        tier = ExecutionTier.COMPILED
+        demoted = True
+        reason = "faults" if faults else "watchdog"
+    route_memo = policy.route_memo
+    if route_memo is None:
+        route_memo = route_memo_from_env()
+    route_memo = bool(route_memo and not (faults or watchdog or telemetry))
+    check = policy.check
+    if check is None:
+        check = os.environ.get("REPRO_TIER_CHECK", "").lower() not in _OFF_VALUES
+    return TierSelection(
+        tier=tier,
+        route_memo=route_memo,
+        check=bool(check),
+        requested=requested,
+        demoted=demoted,
+        reason=reason,
+    )
+
+
+__all__ = [
+    "Bindings",
+    "DEFAULT_TIER",
+    "ExecutionTier",
+    "TIER_ORDER",
+    "TARGET_INDEX",
+    "TierPolicy",
+    "TierSelection",
+    "as_policy",
+    "as_tier",
+    "compiled_ops",
+    "execute",
+    "execute_bases",
+    "execute_interpreted",
+    "route_memo_from_env",
+    "select_tier",
+    "tier_from_env",
+]

@@ -2,6 +2,13 @@
 
 from repro.core.options import BuildOptions, MetadataModel
 from repro.core.packetmill import PacketMill
+from repro.core.profile import RunProfile
 from repro.core.binary import SpecializedBinary
 
-__all__ = ["BuildOptions", "MetadataModel", "PacketMill", "SpecializedBinary"]
+__all__ = [
+    "BuildOptions",
+    "MetadataModel",
+    "PacketMill",
+    "RunProfile",
+    "SpecializedBinary",
+]

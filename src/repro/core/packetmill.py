@@ -19,6 +19,7 @@ Stages, mirroring the figure:
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.click.driver import (
@@ -29,11 +30,14 @@ from repro.click.driver import (
     RouterDriver,
 )
 from repro.click.graph import ProcessingGraph
+from repro.compiler import codegen as _codegen
 from repro.compiler.lower import lower
 from repro.compiler.passes import reorder_metadata
+from repro.compiler.runtime import ExecutionTier, as_policy, select_tier
 from repro.compiler.structlayout import LayoutRegistry
 from repro.core.binary import SpecializedBinary
 from repro.core.options import BuildOptions, MetadataModel
+from repro.core.profile import RunProfile
 from repro.dpdk.metadata import CopyingModel, OverlayingModel, XChangeModel
 from repro.dpdk.nic import Nic
 from repro.dpdk.tinynf import TinyNfModel
@@ -80,29 +84,55 @@ class PacketMill:
         telemetry: Union[None, bool, TelemetryConfig] = None,
         analyze: Union[None, bool, str] = None,
         qos: Optional[QosConfig] = None,
+        tier=None,
     ):
+        # The keyword surface is a thin shim over RunProfile -- the
+        # documented config object; from_profile() passes one directly.
+        self._apply_profile(config, RunProfile(
+            options=options, params=params, trace=trace, seed=seed,
+            burst=burst, faults=faults,
+            watchdog_threshold=watchdog_threshold, telemetry=telemetry,
+            analyze=analyze, qos=qos, tier=tier,
+        ))
+
+    @classmethod
+    def from_profile(cls, config: str, profile: Optional[RunProfile] = None
+                     ) -> "PacketMill":
+        """Build from one consolidated :class:`RunProfile` value."""
+        mill = cls.__new__(cls)
+        mill._apply_profile(config, profile or RunProfile())
+        return mill
+
+    def _apply_profile(self, config: str, profile: RunProfile) -> None:
         self.config = config
-        self.options = options or BuildOptions.vanilla()
-        self.params = params or DEFAULT_PARAMS
-        self.seed = seed
-        self.burst = burst or self.options.burst
-        self.faults = faults
-        self.watchdog_threshold = watchdog_threshold
+        self.profile = profile
+        self.options = profile.options or BuildOptions.vanilla()
+        self.params = profile.params or DEFAULT_PARAMS
+        self.seed = profile.seed
+        self.burst = profile.burst or self.options.burst
+        self.faults = profile.faults
+        self.watchdog_threshold = profile.watchdog_threshold
+        # Execution-tier policy (None defers to REPRO_TIER / defaults);
+        # resolved per core at build time, when the instrumentation that
+        # can demote a tier (faults, watchdog, telemetry) is known.
+        self.tier_policy = as_policy(profile.tier)
         # QoS buffer management: None (the default) leaves every QoS hook
         # unreachable -- the build is bit-identical to a pre-QoS one.
-        self.qos = qos
+        self.qos = profile.qos
         # Static analysis at build time: "error" (or True) refuses to
         # build a configuration with error-severity findings, "warn"
         # analyzes and attaches the report without gating.  Default off;
         # REPRO_ANALYZE=1|error|warn opts a whole run in.
-        self._analyze_mode = self._resolve_analyze_mode(analyze)
+        self._analyze_mode = self._resolve_analyze_mode(profile.analyze)
         self._analysis_report = None
         # Counter storage is always on (it IS the stats); the optional
         # recorders (windows, attribution, spans) only exist when a
         # config is passed -- observation charges nothing either way.
+        telemetry = profile.telemetry
         if telemetry is True:
             telemetry = TelemetryConfig()
         self.telemetry_config: Optional[TelemetryConfig] = telemetry or None
+        trace = profile.trace
         if trace is None:
             self._trace_factory: TraceFactory = _default_trace_factory
         elif callable(trace) and not hasattr(trace, "next_packet"):
@@ -166,6 +196,30 @@ class PacketMill:
         from repro.compiler.pipeline import PassManager
 
         return PassManager.from_options(self.options)
+
+    @staticmethod
+    def _codegen_verifier(registry: LayoutRegistry):
+        """The IR verifier as a codegen ``verify`` hook.
+
+        Built here because ``repro.compiler`` sits below ``repro.analyze``
+        in the layering; codegen itself only receives an opaque callable
+        and runs it before every generation.
+        """
+        from repro.analyze.findings import ERROR
+        from repro.analyze.verifier import verify_exec_program
+
+        def verify(program):
+            findings = [
+                f for f in verify_exec_program(program, registry)
+                if f.severity == ERROR
+            ]
+            if findings:
+                raise _codegen.CodegenError(
+                    "IR verification refused codegen of %r:\n%s"
+                    % (program.name, "\n".join(str(f) for f in findings))
+                )
+
+        return verify
 
     # -- build ------------------------------------------------------------------------
 
@@ -290,6 +344,42 @@ class PacketMill:
                 injector.bind_mempool(model.mempool)
             watchdog = Watchdog(self.watchdog_threshold)
 
+        # -- execution tier (resolved ONCE; PMDs and driver share it) ----------
+        selection = select_tier(
+            self.tier_policy,
+            faults=injector is not None,
+            watchdog=watchdog is not None,
+            telemetry=telemetry.enabled,
+        )
+        codegen_verify = None
+        codegen_map = None
+        if selection.tier is ExecutionTier.CODEGEN:
+            codegen_verify = self._codegen_verifier(registry)
+            codegen_map = exec_cache.lookup_codegen(self.config, options, params)
+            if codegen_map is None:
+                try:
+                    codegen_map = {
+                        name: _codegen.compile_program(
+                            program, verify=codegen_verify,
+                            check=selection.check,
+                        )
+                        for name, program in exec_programs.items()
+                    }
+                except _codegen.CodegenError:
+                    # One unverifiable element demotes the whole build:
+                    # tiers are all-or-nothing per binary so the settled
+                    # tier is meaningful in reports.  The driver counts
+                    # the demotion (it sees ``demoted``).
+                    selection = replace(
+                        selection, tier=ExecutionTier.COMPILED,
+                        demoted=True, reason="codegen compile failed",
+                    )
+                    codegen_map = None
+                else:
+                    exec_cache.store_codegen(
+                        self.config, options, params, codegen_map
+                    )
+
         pmds: Dict[int, MlxPmd] = {}
         for port in ports:
             trace = self._trace_factory(port, core_id)
@@ -302,6 +392,8 @@ class PacketMill:
                 lto=options.lto,
                 vectorized=options.vectorized_pmd,
                 pgo=options.pgo,
+                tier=selection,
+                codegen_verify=codegen_verify,
             )
 
         # -- QoS buffer pools (absent unless a config was given) ---------------
@@ -331,6 +423,8 @@ class PacketMill:
             graph, cpu, params, exec_programs, dispatch, pmds, burst=self.burst,
             injector=injector, watchdog=watchdog, telemetry=telemetry,
             qos_ports=qos_ports or None,
+            tier=selection, codegen=codegen_map, codegen_verify=codegen_verify,
+            layout_registry=registry,
         )
         binary = SpecializedBinary(
             options=options,
