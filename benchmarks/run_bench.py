@@ -12,11 +12,19 @@ verifies every tier produces byte-identical payloads, and adds a hot-path
 microbenchmark timing the compiled op-tuple loop against the generated
 kernels over fig01's element programs.
 
+Shard mode (``--shards``, ``BENCH_PR8.json``): builds and measures the
+NAT on the sharded runtime at 1/2/4 cores, verifies the 1-core sharded
+point is bit-identical to the unsharded path, and records wall-clock,
+throughput, and scaling efficiency per core count.  These are simulated
+cores stepped in lockstep inside one process, so the numbers capture
+model cost, not host parallelism -- ``cpus`` records the capture host.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full QUICK suite
     PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI subset, tiny scale
     PYTHONPATH=src python benchmarks/run_bench.py --tiers    # per-tier timings
+    PYTHONPATH=src python benchmarks/run_bench.py --shards   # sharded-runtime timings
 
 Exits non-zero when any pair mismatches, so CI can gate on determinism.
 """
@@ -223,6 +231,70 @@ def run_tiers(args) -> int:
     return 0
 
 
+def run_shards(args) -> int:
+    from repro.core.nfs import nat_router
+    from repro.core.options import BuildOptions
+    from repro.core.packetmill import PacketMill
+    from repro.hw.params import MachineParams
+    from repro.perf.runner import measure_sharded, measure_throughput
+
+    scale = SMOKE_SCALE if args.smoke else QUICK
+    batches, warmup = scale.batches, scale.warmup_batches
+    params = MachineParams().at_frequency(2.3)
+
+    def mill(n_cores):
+        return PacketMill(nat_router(), BuildOptions.packetmill(),
+                          params=params, n_cores=n_cores)
+
+    # Identity gate: the 1-core sharded point must be bit-identical to
+    # the unsharded path before any multi-core timing means anything.
+    _reset_caches()
+    flat = measure_throughput(mill(1).build(), batches=batches,
+                              warmup_batches=warmup)
+    _reset_caches()
+    sharded_one = measure_sharded(mill(1).build_sharded(), batches=batches,
+                                  warmup_batches=warmup)
+    identical = flat == sharded_one
+
+    report = {
+        "suite": "shards-smoke" if args.smoke else "shards",
+        "scale": scale.name,
+        "cpus": os.cpu_count(),
+        # Replicas are simulated cores interleaved in ONE process; these
+        # timings measure model cost per core, never host fan-out.
+        "workers_used": 1,
+        "parallel_capture": False,
+        "single_core_identity": identical,
+        "cores": {},
+    }
+    base_wall = None
+    for n_cores in (1, 2, 4):
+        _reset_caches()
+        start = time.perf_counter()
+        point = measure_sharded(mill(n_cores).build_sharded(),
+                                batches=batches, warmup_batches=warmup)
+        wall = time.perf_counter() - start
+        if base_wall is None:
+            base_wall = wall
+        report["cores"][str(n_cores)] = {
+            "wall_s": round(wall, 3),
+            "gbps": round(point.gbps, 3),
+            "mpps": round(point.mpps, 3),
+            "bound_by": point.bound_by,
+            "wall_per_core_vs_1core": round(wall / (base_wall * n_cores), 3),
+        }
+        print("%d core(s): %6.2fs wall  %7.2f Gbps  bound by %s"
+              % (n_cores, wall, point.gbps, point.bound_by))
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print("-> %s" % args.output)
+    if not identical:
+        print("SHARD IDENTITY FAILURE: 1-core sharded point != unsharded",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -230,12 +302,20 @@ def main(argv=None) -> int:
     parser.add_argument("--tiers", action="store_true",
                         help="benchmark execution tiers (fig01/fig06 per "
                              "tier + hot-path microbench)")
+    parser.add_argument("--shards", action="store_true",
+                        help="benchmark the sharded runtime at 1/2/4 cores "
+                             "(plus the 1-core identity gate)")
     parser.add_argument("--output", default=None,
-                        help="where to write the report "
-                             "(default: BENCH_PR4.json / BENCH_PR7.json)")
+                        help="where to write the report (default: "
+                             "BENCH_PR4.json / BENCH_PR7.json / "
+                             "BENCH_PR8.json)")
     args = parser.parse_args(argv)
     if args.output is None:
-        args.output = "BENCH_PR7.json" if args.tiers else "BENCH_PR4.json"
+        args.output = ("BENCH_PR8.json" if args.shards
+                       else "BENCH_PR7.json" if args.tiers
+                       else "BENCH_PR4.json")
+    if args.shards:
+        return run_shards(args)
     if args.tiers:
         return run_tiers(args)
 

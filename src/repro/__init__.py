@@ -30,6 +30,10 @@ __all__ = [
     "TierPolicy",
     "FaultSchedule",
     "FaultSpec",
+    "ShardedRuntime",
+    "RssConfig",
+    "ControlSocket",
+    "MergedRegistry",
     "CounterRegistry",
     "Telemetry",
     "TelemetryConfig",
@@ -47,6 +51,10 @@ _LAZY = {
     "TierPolicy": ("repro.compiler.runtime", "TierPolicy"),
     "FaultSchedule": ("repro.faults.schedule", "FaultSchedule"),
     "FaultSpec": ("repro.faults.schedule", "FaultSpec"),
+    "ShardedRuntime": ("repro.core.sharded", "ShardedRuntime"),
+    "RssConfig": ("repro.net.rss", "RssConfig"),
+    "ControlSocket": ("repro.control", "ControlSocket"),
+    "MergedRegistry": ("repro.telemetry.registry", "MergedRegistry"),
     "CounterRegistry": ("repro.telemetry.registry", "CounterRegistry"),
     "Telemetry": ("repro.telemetry", "Telemetry"),
     "TelemetryConfig": ("repro.telemetry", "TelemetryConfig"),

@@ -72,7 +72,7 @@ class CuckooHashTable:
                     self._values[bucket][i] = value
                     return
         bucket = self._hash1(key)
-        for _ in range(MAX_DISPLACEMENTS):
+        for attempt in range(MAX_DISPLACEMENTS):
             slots = self._keys[bucket]
             for i in range(BUCKET_SLOTS):
                 if slots[i] is None:
@@ -80,12 +80,15 @@ class CuckooHashTable:
                     self._values[bucket][i] = value
                     self.entries += 1
                     return
-            # Bucket full: displace the first slot's occupant to its
-            # alternate bucket and retry there.
-            victim_key = slots[0]
-            victim_value = self._values[bucket][0]
-            slots[0] = key
-            self._values[bucket][0] = value
+            # Bucket full: displace one occupant to its alternate bucket
+            # and retry there.  The victim slot rotates with the kick
+            # depth -- always evicting slot 0 lets a chain cycle between
+            # the same two buckets and strands reachable capacity.
+            victim = attempt % BUCKET_SLOTS
+            victim_key = slots[victim]
+            victim_value = self._values[bucket][victim]
+            slots[victim] = key
+            self._values[bucket][victim] = value
             key, value = victim_key, victim_value
             bucket = self._alt_bucket(key, bucket)
         raise CuckooFullError("cuckoo displacement budget exhausted")

@@ -1,0 +1,13 @@
+"""Async control plane: live counter reads and Prometheus exposition.
+
+The pieces: :class:`~repro.control.server.ControlSocket` serves a (merged)
+counter registry over TCP to many concurrent clients while a run is in
+flight; :func:`~repro.control.prometheus.render` produces the text
+exposition; :class:`~repro.control.server.ControlClient` is the matching
+blocking client used by the examples.
+"""
+
+from repro.control.prometheus import metric_name, render
+from repro.control.server import ControlClient, ControlSocket
+
+__all__ = ["ControlClient", "ControlSocket", "metric_name", "render"]

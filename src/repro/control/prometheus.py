@@ -1,0 +1,69 @@
+"""Prometheus text exposition for counter registries.
+
+:func:`render` turns a :class:`~repro.telemetry.registry.CounterRegistry`
+snapshot into the Prometheus text format (version 0.0.4): one ``# TYPE``
+line per metric family, dotted counter names flattened to legal metric
+names (``driver.rx_packets`` -> ``repro_driver_rx_packets``).
+
+For a :class:`~repro.telemetry.registry.MergedRegistry` the exposition
+carries *both* views of every aggregate name: the unlabeled cluster sum
+and one ``{core="i"}`` series per replica -- so an operator can graph
+total forwarding rate and per-core skew from the same scrape.  Mounted
+ledgers (the per-port RSS books at ``rss.<port>.*``) render as plain
+series under their mount prefix.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.registry import COUNTER, CounterRegistry, MergedRegistry
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, namespace: str = "repro") -> str:
+    """``driver.rx_packets`` -> ``repro_driver_rx_packets``."""
+    return "%s_%s" % (namespace, _ILLEGAL.sub("_", name))
+
+
+def _type_of(registry: CounterRegistry, name: str) -> str:
+    return "counter" if registry.kind_of(name) == COUNTER else "gauge"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render(registry: CounterRegistry, namespace: str = "repro") -> str:
+    """The registry's current values in Prometheus text format."""
+    lines = []
+    if isinstance(registry, MergedRegistry):
+        # Mounted ledgers (RSS steering books): plain series.
+        for prefix in sorted(registry._mounts):
+            mounted = registry._mounts[prefix]
+            for name in mounted.names():
+                full = prefix + "." + name
+                metric = metric_name(full, namespace)
+                lines.append("# TYPE %s %s" % (metric, _type_of(registry, full)))
+                lines.append("%s %s" % (metric, _format_value(registry.get(full))))
+        # Aggregate + per-core series for every child-owned name.
+        for name in registry.aggregate_names():
+            metric = metric_name(name, namespace)
+            lines.append("# TYPE %s %s" % (metric, _type_of(registry, name)))
+            lines.append("%s %s" % (metric, _format_value(registry.get(name))))
+            for core, value in enumerate(registry.per_core(name)):
+                lines.append('%s{core="%d"} %s'
+                             % (metric, core, _format_value(value)))
+    else:
+        for name in registry.names():
+            metric = metric_name(name, namespace)
+            lines.append("# TYPE %s %s" % (metric, _type_of(registry, name)))
+            lines.append("%s %s" % (metric, _format_value(registry.get(name))))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["metric_name", "render"]

@@ -1,0 +1,273 @@
+"""The asyncio control socket: live counter reads while a run is in flight.
+
+A :class:`ControlSocket` wraps any
+:class:`~repro.telemetry.registry.CounterRegistry` -- in practice the
+:class:`~repro.core.sharded.ShardedRuntime`'s merged registry -- and
+serves it over TCP to many concurrent clients.  Reads go straight to the
+live handles, so a client polling mid-run sees counters move; nothing is
+snapshotted or buffered on the server side.
+
+Two dialects on one port:
+
+- **Line protocol** (the examples and tests): one request per line,
+  one-line replies, connection stays open.
+
+  ==================  ========================================================
+  request              reply
+  ==================  ========================================================
+  ``READ <name>``      ``<name> <value>`` (``GET <name>`` is a synonym)
+  ``CORES``            ``<n>`` (replica count; 1 for a plain registry)
+  ``NAMES [glob]``     one counter name per line, then ``.``
+  ``METRICS``          Prometheus text exposition, terminated by ``# EOF``
+  ``QUIT``             closes the connection
+  ==================  ========================================================
+
+- **HTTP** (Prometheus scrapes): a request line starting with
+  ``GET /metrics`` gets a one-shot ``HTTP/1.0 200`` response carrying the
+  same exposition body, then the connection closes.
+
+The server runs its event loop on a daemon thread so a synchronous
+driver loop (the simulation) and the control plane coexist without the
+simulation going async: :meth:`start` returns the bound ``(host, port)``
+once listening, :meth:`stop` tears the loop down.  It is also a context
+manager: ``with ControlSocket(registry) as (host, port): ...``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.control.prometheus import render
+from repro.telemetry.registry import CounterRegistry, MergedRegistry
+
+
+class ControlSocket:
+    """Serve one registry to many concurrent TCP clients."""
+
+    def __init__(self, registry: CounterRegistry, host: str = "127.0.0.1",
+                 port: int = 0, namespace: str = "repro"):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.namespace = namespace
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("control socket already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-control", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._loop = None
+        self._server = None
+        self._thread = None
+        self._ready.clear()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port))
+            self._server = server
+            self.host, self.port = server.sockets[0].getsockname()[:2]
+            self._ready.set()
+            loop.run_forever()
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            # Drain in-flight client handlers so nothing touches the
+            # loop after it closes.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+        except BaseException as exc:  # surface bind failures to start()
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            loop.close()
+
+    # -- protocol --------------------------------------------------------------
+
+    def _n_cores(self) -> int:
+        if isinstance(self.registry, MergedRegistry):
+            return len(self.registry.children)
+        return 1
+
+    def _metrics(self) -> str:
+        return render(self.registry, namespace=self.namespace)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", "replace").strip()
+                if not line:
+                    continue
+                verb, _, arg = line.partition(" ")
+                verb = verb.upper()
+                if verb == "GET" and arg.split(" ", 1)[0].startswith("/"):
+                    await self._serve_http(reader, writer, arg)
+                    break
+                if verb == "QUIT":
+                    writer.write(b"bye\n")
+                    break
+                writer.write(self._dispatch(verb, arg.strip()))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # Shutdown cancels in-flight handlers mid-close; finish
+                # normally so the streams callback has no exception to log.
+                pass
+
+    def _dispatch(self, verb: str, arg: str) -> bytes:
+        if verb in ("READ", "GET"):
+            if not arg:
+                return b"ERR missing counter name\n"
+            if arg not in self.registry:
+                return ("ERR unknown counter %s\n" % arg).encode()
+            value = self.registry.get(arg)
+            if isinstance(value, float) and value == int(value):
+                value = int(value)
+            return ("%s %s\n" % (arg, value)).encode()
+        if verb == "CORES":
+            return ("%d\n" % self._n_cores()).encode()
+        if verb == "NAMES":
+            names = self.registry.names(arg or None)
+            return ("".join(n + "\n" for n in names) + ".\n").encode()
+        if verb == "METRICS":
+            return self._metrics().encode()
+        return ("ERR unknown verb %s\n" % verb).encode()
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter, request: str) -> None:
+        # Drain request headers up to the blank line.
+        while True:
+            raw = await reader.readline()
+            if not raw or raw in (b"\r\n", b"\n"):
+                break
+        path = request.split(" ", 1)[0]
+        if path.rstrip("/") == "/metrics" or path == "/":
+            body = self._metrics().encode()
+            status = b"HTTP/1.0 200 OK\r\n"
+        else:
+            body = b"not found\n"
+            status = b"HTTP/1.0 404 Not Found\r\n"
+        writer.write(
+            status
+            + b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            + ("Content-Length: %d\r\n" % len(body)).encode()
+            + b"Connection: close\r\n\r\n"
+            + body)
+        await writer.drain()
+
+
+class ControlClient:
+    """Minimal blocking line-protocol client (examples and tests).
+
+    One persistent connection; each call is a request/reply round trip.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _request(self, line: str) -> str:
+        self._file.write((line + "\n").encode())
+        self._file.flush()
+        reply = self._file.readline()
+        if not reply:
+            raise ConnectionError("control socket closed")
+        return reply.decode().rstrip("\n")
+
+    def read(self, name: str) -> float:
+        reply = self._request("READ " + name)
+        if reply.startswith("ERR"):
+            raise KeyError(reply)
+        value = reply.rsplit(" ", 1)[1]
+        return float(value) if "." in value else int(value)
+
+    def cores(self) -> int:
+        return int(self._request("CORES"))
+
+    def names(self, pattern: str = "") -> list:
+        self._file.write(("NAMES %s" % pattern).strip().encode() + b"\n")
+        self._file.flush()
+        out = []
+        while True:
+            line = self._file.readline().decode().rstrip("\n")
+            if line == ".":
+                return out
+            if not line:
+                raise ConnectionError("control socket closed")
+            out.append(line)
+
+    def metrics(self) -> str:
+        self._file.write(b"METRICS\n")
+        self._file.flush()
+        lines = []
+        while True:
+            line = self._file.readline().decode()
+            if not line:
+                raise ConnectionError("control socket closed")
+            lines.append(line)
+            if line.startswith("# EOF"):
+                return "".join(lines)
+
+    def close(self) -> None:
+        try:
+            self._file.write(b"QUIT\n")
+            self._file.flush()
+        except (OSError, ValueError):
+            pass
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ControlClient", "ControlSocket"]

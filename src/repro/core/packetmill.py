@@ -85,6 +85,8 @@ class PacketMill:
         analyze: Union[None, bool, str] = None,
         qos: Optional[QosConfig] = None,
         tier=None,
+        n_cores: int = 1,
+        rss=None,
     ):
         # The keyword surface is a thin shim over RunProfile -- the
         # documented config object; from_profile() passes one directly.
@@ -92,7 +94,7 @@ class PacketMill:
             options=options, params=params, trace=trace, seed=seed,
             burst=burst, faults=faults,
             watchdog_threshold=watchdog_threshold, telemetry=telemetry,
-            analyze=analyze, qos=qos, tier=tier,
+            analyze=analyze, qos=qos, tier=tier, n_cores=n_cores, rss=rss,
         ))
 
     @classmethod
@@ -116,6 +118,13 @@ class PacketMill:
         # resolved per core at build time, when the instrumentation that
         # can demote a tier (faults, watchdog, telemetry) is known.
         self.tier_policy = as_policy(profile.tier)
+        # RSS sharding: n_cores > 1 makes build_runtime() return an
+        # N-replica ShardedRuntime; rss carries the steering knobs.
+        self.n_cores = profile.n_cores
+        self.rss = profile.rss
+        # Set transiently by build_sharded() when the RSS config asks for
+        # one mempool shared by every queue's PMD.
+        self._model_override = None
         # QoS buffer management: None (the default) leaves every QoS hook
         # unreachable -- the build is bit-identical to a pre-QoS one.
         self.qos = profile.qos
@@ -233,11 +242,88 @@ class PacketMill:
 
         Each core runs its own graph replica and polls its own NIC queue;
         RSS keeps flows core-local, which the per-core trace seeds model.
+        (This is the *approximation* of sharding -- decorrelated per-core
+        traces; :meth:`build_sharded` is the real thing, one shared
+        arrival stream steered by the Toeplitz hash.)
         """
         if n_cores < 1:
             raise BuildError("need at least one core")
         mem = MemorySystem(self.params, n_cores=n_cores, seed=self.seed)
         return [self._build_core(mem, core_id=c) for c in range(n_cores)]
+
+    def build_runtime(self):
+        """The profile's runtime: a binary, or a sharded runtime when
+        ``n_cores > 1`` (what ``from_profile(...).build_runtime()`` is for)."""
+        if self.n_cores > 1:
+            return self.build_sharded()
+        return self.build()
+
+    def build_sharded(self, n_cores: Optional[int] = None, rss=None):
+        """Build an RSS-sharded runtime: one shared arrival stream per
+        port, Toeplitz-steered across ``n_cores`` per-core replicas.
+
+        Every replica is a full :class:`SpecializedBinary` (own CpuCore,
+        PMDs, driver, execution tier) built by the same ``_build_core``
+        path as :meth:`build`; what changes is the trace wiring -- each
+        replica's NIC pulls from its :class:`~repro.dpdk.nic.QueueTrace`
+        view of the port's :class:`~repro.dpdk.nic.MultiQueueNic` -- and
+        the fault wiring, which is scoped per queue
+        (``FaultSchedule.for_queue``).  With ``rss.mempool="shared"``
+        every queue's PMD allocates from core 0's mempool instead of a
+        partitioned per-core pool.
+
+        An ``n_cores=1`` sharded build is charge-for-charge identical to
+        :meth:`build`: the steering stage degenerates to a pass-through
+        and costs nothing.
+        """
+        from repro.core.sharded import ShardedRuntime
+        from repro.dpdk.nic import MultiQueueNic
+        from repro.net.rss import MEMPOOL_SHARED, RssConfig
+
+        n = self.n_cores if n_cores is None else n_cores
+        if n < 1:
+            raise BuildError("need at least one core")
+        config = rss or self.rss or RssConfig()
+        graph = ProcessingGraph.from_text(self.config)
+        ports = sorted(
+            {e.param("port") for e in graph.by_class("FromDPDKDevice")}
+            | {e.param("port") for e in graph.by_class("ToDPDKDevice")}
+        )
+        if not ports:
+            raise BuildError("configuration uses no DPDK ports")
+        mem = MemorySystem(self.params, n_cores=n, seed=self.seed)
+        # One physical multi-queue port per DPDK port; the port's shared
+        # arrival stream is the (port, core=0) trace.
+        mqs = {
+            port: MultiQueueNic(
+                self._trace_factory(port, 0), n, config,
+                port=port, name="port%d" % port, burst=self.burst,
+            )
+            for port in ports
+        }
+        saved_factory = self._trace_factory
+        saved_faults = self.faults
+        replicas: List[SpecializedBinary] = []
+        try:
+            self._trace_factory = (
+                lambda port, core: mqs[port].queue_trace(core)
+            )
+            for core in range(n):
+                if saved_faults is not None:
+                    # Per-queue fault scoping: a core whose filtered
+                    # schedule is empty gets no injector at all.
+                    self.faults = saved_faults.for_queue(core)
+                if config.mempool == MEMPOOL_SHARED and replicas:
+                    self._model_override = replicas[0].model
+                replicas.append(self._build_core(mem, core_id=core))
+        finally:
+            self._trace_factory = saved_factory
+            self.faults = saved_faults
+            self._model_override = None
+        for core, binary in enumerate(replicas):
+            for port, pmd in binary.pmds.items():
+                mqs[port].bind_queue(core, pmd.nic)
+        return ShardedRuntime(replicas, mqs, config=config)
 
     def _build_core(self, mem: MemorySystem, core_id: int) -> SpecializedBinary:
         options = self.options
@@ -270,7 +356,11 @@ class PacketMill:
         # not alias each other's lines.
         space = AddressSpace(seed=self.seed + core_id, offset=core_id << 36)
 
-        model = self._make_model()
+        # A sharded build with a shared mempool reuses core 0's model
+        # instance (one pool, one set of buffers) instead of setting up a
+        # partitioned per-core one.
+        shared_model = self._model_override is not None
+        model = self._model_override if shared_model else self._make_model()
         if options.reorder_metadata and not model.reorder_allowed:
             raise BuildError(
                 "metadata model %r does not allow struct reordering" % model.name
@@ -287,7 +377,8 @@ class PacketMill:
                     "restriction the paper contrasts X-Change against)"
                     % (model.name, ", ".join(holders))
                 )
-        model.setup(space, params)
+        if not shared_model:
+            model.setup(space, params)
 
         # -- element state allocation (static graph vs. scattered heap) -----
         elements = graph.all_elements()

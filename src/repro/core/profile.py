@@ -28,6 +28,7 @@ from repro.core.options import BuildOptions
 from repro.faults.schedule import FaultSchedule
 from repro.faults.watchdog import DEFAULT_THRESHOLD
 from repro.hw.params import MachineParams
+from repro.net.rss import RssConfig
 from repro.qos import QosConfig
 from repro.telemetry import TelemetryConfig
 
@@ -55,6 +56,12 @@ class RunProfile:
       and PFC; every QoS hook is unreachable when ``None``.
     - ``tier``: requested :class:`ExecutionTier`, its spelling, or a full
       :class:`TierPolicy` (``REPRO_TIER`` applies when ``None``).
+    - ``n_cores``: replica count; ``> 1`` makes
+      :meth:`PacketMill.build_runtime` return the RSS-sharded
+      :class:`~repro.core.sharded.ShardedRuntime` instead of one binary.
+    - ``rss``: the :class:`~repro.net.rss.RssConfig` driving flow
+      sharding (key, indirection table size, mempool policy, per-queue
+      backlog bound); defaults apply when ``None``.
     """
 
     options: Optional[BuildOptions] = None
@@ -68,6 +75,8 @@ class RunProfile:
     analyze: Union[None, bool, str] = None
     qos: Optional[QosConfig] = None
     tier: Union[None, str, ExecutionTier, TierPolicy] = None
+    n_cores: int = 1
+    rss: Optional[RssConfig] = None
 
     def with_overrides(self, **changes) -> "RunProfile":
         """A copy with the given fields replaced (sweep convenience)."""

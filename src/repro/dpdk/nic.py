@@ -19,11 +19,13 @@ the delivery path is byte-identical to the fault-free model.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.dpdk.mbuf import CQE_SIZE, TX_WQE_SIZE, BufferRef
 from repro.dpdk.ring import DescriptorRing
 from repro.net.packet import Packet
+from repro.net.rss import IndirectionTable, RssConfig, ToeplitzKey, parse_flow, toeplitz_v4
 from repro.telemetry.registry import CounterRegistry
 
 #: Every xstat the port exposes, in DPDK display order.
@@ -177,6 +179,11 @@ class Nic:
                 self.trace_exhausted = True
                 self.rx_ring.push(ref)
                 break
+            if pkt is None:
+                # Source has nothing for this queue right now (a sharded
+                # ingest round spent its budget on other queues' frames).
+                self.rx_ring.push(ref)
+                break
             pkt.port = self.port
             if injector is not None:
                 injector.mutate_frame(pkt, self.port)
@@ -260,3 +267,162 @@ class Nic:
             _, ref = self.tx_ring.pop()
             done.append(ref)
         return done
+
+
+class QueueTrace:
+    """The trace-protocol view one RX queue has of a multi-queue port.
+
+    Each per-core :class:`Nic` replica is constructed with one of these
+    as its ``trace``: ``next_packet`` pulls from the owning
+    :class:`MultiQueueNic`'s shared arrival stream, receiving only frames
+    RSS steered to this queue.  ``None`` means "nothing for you this
+    round" (the ingest budget went to other queues); ``StopIteration``
+    means the shared trace is exhausted *and* this queue's backlog is
+    drained -- the same clean-EOF signal :class:`FiniteTrace` produces.
+    """
+
+    __slots__ = ("port", "queue_id")
+
+    def __init__(self, port: "MultiQueueNic", queue_id: int):
+        self.port = port
+        self.queue_id = queue_id
+
+    def next_packet(self, timestamp: float = 0.0) -> Optional[Packet]:
+        return self.port.pull(self.queue_id)
+
+    def mean_frame_length(self) -> float:
+        return self.port.trace.mean_frame_length()
+
+    @property
+    def flows(self):
+        return self.port.trace.flows
+
+    @property
+    def backlog(self) -> int:
+        return len(self.port.backlogs[self.queue_id])
+
+
+class MultiQueueNic:
+    """One physical port fanned out over N RX queues by RSS.
+
+    Hardware RSS is a stage *in front of* the per-queue machinery: the
+    port receives one arrival stream, Toeplitz-hashes each frame's
+    5-tuple, and steers it through the indirection table to an RX queue.
+    Here each RX/TX queue pair is a full :class:`Nic` instance (rings,
+    xstats, fault injector, QoS) owned by one core's replica -- exactly
+    DPDK's model, where ``rte_eth_rx_burst(port, queue)`` addresses a
+    (port, queue) pair and xstats exist per queue.
+
+    Steering is *pull-driven* to stay deterministic under round-robin
+    core stepping: when queue ``q`` polls and its staging backlog is
+    empty, the port ingests up to ``ingest_budget`` arrivals from the
+    shared trace, appending each to its steered queue's backlog, until a
+    frame for ``q`` shows up or the budget ends.  A backlog past
+    ``backlog_cap`` (an overloaded queue under elephant flows) drops the
+    frame and counts it -- ``imissed`` on the owning queue's xstats plus
+    ``q<N>.dropped`` in the port's RSS ledger -- so conservation audits
+    can close the books: ``ingested == sum(steered) + sum(dropped)``.
+    """
+
+    def __init__(self, trace, n_queues: int, config: Optional[RssConfig] = None,
+                 port: int = 0, name: str = "port0", burst: int = 32):
+        if n_queues < 1:
+            raise ValueError("need at least one RX queue")
+        self.trace = trace
+        self.n_queues = n_queues
+        self.config = config or RssConfig()
+        self.port = port
+        self.name = name
+        self.key = ToeplitzKey(self.config.key)
+        self.table = IndirectionTable(n_queues, self.config.table_size)
+        self.backlog_cap = self.config.backlog_cap
+        self.ingest_budget = (self.config.ingest_budget
+                              or max(64, 4 * burst * n_queues))
+        self.backlogs: List[Deque[Packet]] = [deque() for _ in range(n_queues)]
+        #: queue id -> per-core Nic replica (bound by the sharded builder).
+        self.queues: List[Optional[Nic]] = [None] * n_queues
+        self.exhausted = False
+        # The port's RSS ledger; the sharded runtime mounts it at
+        # ``rss.<port>.`` in the merged registry.
+        self.registry = CounterRegistry()
+        self._ingested = self.registry.counter("ingested")
+        self._steered = [self.registry.counter("q%d.steered" % q)
+                         for q in range(n_queues)]
+        self._dropped = [self.registry.counter("q%d.dropped" % q)
+                         for q in range(n_queues)]
+
+    def queue_trace(self, queue_id: int) -> QueueTrace:
+        if not 0 <= queue_id < self.n_queues:
+            raise ValueError("queue %d out of range" % queue_id)
+        return QueueTrace(self, queue_id)
+
+    def bind_queue(self, queue_id: int, nic: Nic) -> None:
+        """Associate the per-core ``Nic`` that services ``queue_id``."""
+        self.queues[queue_id] = nic
+
+    def steer(self, pkt: Packet) -> int:
+        """RSS: hash the frame's 5-tuple, index the indirection table."""
+        h = pkt.rss_hash
+        if not h:
+            tup = parse_flow(memoryview(pkt.buffer)[pkt.headroom:])
+            h = toeplitz_v4(*tup, key=self.config.key) if tup else 0
+            pkt.rss_hash = h
+        return self.table.queue_for(h)
+
+    def pull(self, queue_id: int) -> Optional[Packet]:
+        """One frame for ``queue_id``, ingesting shared arrivals as needed."""
+        backlog = self.backlogs[queue_id]
+        if backlog:
+            return backlog.popleft()
+        if self.exhausted:
+            raise StopIteration("port trace exhausted")
+        trace = self.trace
+        for _ in range(self.ingest_budget):
+            try:
+                pkt = trace.next_packet()
+            except StopIteration:
+                self.exhausted = True
+                break
+            self._ingested.value += 1
+            q = self.steer(pkt)
+            dest = self.backlogs[q]
+            if len(dest) >= self.backlog_cap:
+                # Overloaded queue: hardware would run out of descriptors
+                # and count imissed on that queue.
+                self._dropped[q].value += 1
+                nic = self.queues[q]
+                if nic is not None:
+                    nic.counters.imissed += 1
+                continue
+            dest.append(pkt)
+            self._steered[q].value += 1
+            if q == queue_id:
+                return backlog.popleft()
+        if backlog:
+            return backlog.popleft()
+        if self.exhausted:
+            raise StopIteration("port trace exhausted")
+        return None
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def ingested(self) -> int:
+        return self._ingested.value
+
+    def steered(self, queue_id: Optional[int] = None) -> int:
+        if queue_id is not None:
+            return self._steered[queue_id].value
+        return sum(c.value for c in self._steered)
+
+    def dropped(self, queue_id: Optional[int] = None) -> int:
+        if queue_id is not None:
+            return self._dropped[queue_id].value
+        return sum(c.value for c in self._dropped)
+
+    def backlog_depths(self) -> List[int]:
+        return [len(b) for b in self.backlogs]
+
+    def drained(self) -> bool:
+        """Trace exhausted and every staging backlog empty."""
+        return self.exhausted and not any(self.backlogs)

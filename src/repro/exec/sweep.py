@@ -33,7 +33,12 @@ from repro.core.options import BuildOptions
 from repro.core.packetmill import PacketMill
 from repro.exec import cache
 from repro.hw.params import MachineParams
-from repro.perf.runner import measure_multicore, measure_throughput
+from repro.net.rss import RssConfig
+from repro.perf.runner import (
+    measure_multicore,
+    measure_sharded,
+    measure_throughput,
+)
 
 
 @dataclass(frozen=True)
@@ -43,15 +48,37 @@ class TraceKey:
     ``per_port=True`` reproduces the standard factories' decorrelation
     (``seed + port + 7*core``); ``per_port=False`` gives every queue the
     same seed (the ablations' fixed-trace setup).
+
+    ``kind="skewed"`` builds a
+    :class:`~repro.net.trace.SkewedTraceGenerator` (``n_flows`` flows,
+    Zipf exponent ``skew``, or uniform when ``skew`` is ``None``).  Its
+    flow population is lazy -- pure in (seed, rank) -- so it skips the
+    snapshot cache entirely; construction is already cheap.
     """
 
-    kind: str  # "campus" | "fixed"
+    kind: str  # "campus" | "fixed" | "skewed"
     frame_len: Optional[int] = None
     seed: int = 101
     per_port: bool = True
+    n_flows: Optional[int] = None
+    skew: Optional[float] = None
 
     def factory(self):
         kind, frame_len, seed = self.kind, self.frame_len, self.seed
+        if kind == "skewed":
+            from repro.net.trace import SkewedTraceGenerator
+
+            n_flows, skew = self.n_flows or 1_000_000, self.skew
+            per_port = self.per_port
+
+            def skewed(port, core):
+                kwargs = {"n_flows": n_flows, "zipf_s": skew,
+                          "seed": seed + port + 7 * core if per_port else seed}
+                if frame_len is not None:
+                    kwargs["frame_len"] = frame_len
+                return SkewedTraceGenerator(**kwargs)
+
+            return skewed
         if self.per_port:
             return lambda port, core: cache.trace_generator(
                 kind, frame_len, seed + port + 7 * core
@@ -70,7 +97,9 @@ class PointSpec:
     ``execute`` replicates :func:`repro.experiments.common.build_and_measure`
     exactly: machine parameters are the defaults plus ``params_overrides``
     at ``freq_ghz``, the trace comes from ``trace`` (campus by default),
-    and multi-core points (``n_cores > 1``) take the RSS-replica path.
+    and multi-core points (``n_cores > 1``) build the real RSS-sharded
+    runtime -- one arrival stream per port, Toeplitz-steered across the
+    replicas -- and measure it with :func:`measure_sharded`.
     """
 
     config: str
@@ -83,6 +112,7 @@ class PointSpec:
     n_cores: int = 1
     params_overrides: Tuple[Tuple[str, object], ...] = ()
     burst: Optional[int] = None
+    rss: Optional[RssConfig] = None
 
     def execute(self):
         params = MachineParams(**dict(self.params_overrides)).at_frequency(
@@ -102,8 +132,8 @@ class PointSpec:
                 batches=self.batches,
                 warmup_batches=self.warmup_batches,
             )
-        return measure_multicore(
-            mill.build_multicore(self.n_cores),
+        return measure_sharded(
+            mill.build_sharded(self.n_cores, rss=self.rss),
             batches=self.batches,
             warmup_batches=self.warmup_batches,
         )
@@ -157,16 +187,33 @@ class SweepEngine:
 
     def __init__(self, jobs: Optional[int] = None, mode: Optional[str] = None):
         self.jobs = jobs if jobs is not None else default_jobs()
+        # Explicit jobs (ctor arg or REPRO_JOBS) are taken at face value;
+        # only the inferred default gets the oversubscription guard below.
+        self.jobs_explicit = jobs is not None or bool(os.environ.get("REPRO_JOBS"))
         self.mode = mode or os.environ.get("REPRO_SWEEP", "auto")
 
     @property
     def parallel(self) -> bool:
         return self.mode != "serial" and self.jobs > 1
 
+    def _effective_jobs(self, specs: Sequence) -> int:
+        """Guard against nested oversubscription: each sharded point
+        simulates ``n_cores`` replicas, so a sweep of wide points keeps
+        total parallelism near ``REPRO_JOBS x n_cores <= cpu_count`` by
+        dividing the inferred worker count by the widest point.  An
+        explicit ``REPRO_JOBS`` (or ``jobs=``) always wins -- the
+        operator asked for it.
+        """
+        if self.jobs_explicit:
+            return self.jobs
+        widest = max((getattr(spec, "n_cores", 1) for spec in specs), default=1)
+        return max(1, self.jobs // max(1, widest))
+
     def run(self, specs: Sequence) -> List:
         specs = list(specs)
         if not self.parallel or len(specs) <= 1:
             return [run_point(spec) for spec in specs]
+        jobs = self._effective_jobs(specs)
         results: List = [None] * len(specs)
         pending: List[int] = []
         for i, spec in enumerate(specs):
@@ -178,7 +225,7 @@ class SweepEngine:
         if pending:
             try:
                 with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending))
+                    max_workers=min(jobs, len(pending))
                 ) as pool:
                     mapped = pool.map(run_point, [specs[i] for i in pending])
                     for i, result in zip(pending, mapped):

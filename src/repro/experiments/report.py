@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.experiments import (
     fig01, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
-    qos_incast, table1,
+    qos_incast, rss_imbalance, table1,
 )
 from repro.experiments.common import QUICK, Scale
 
@@ -30,6 +30,7 @@ MODULES = [
     ("Figure 10", fig10),
     ("Figure 11", fig11),
     ("QoS congestion", qos_incast),
+    ("RSS imbalance", rss_imbalance),
 ]
 
 

@@ -166,6 +166,116 @@ def assert_qos_conserved(driver) -> Dict[int, Dict[str, object]]:
     return audit
 
 
+class ShardConservationError(AssertionError):
+    """The sharded runtime's packet books do not balance."""
+
+
+def sharded_audit(runtime) -> Dict[str, object]:
+    """Packet conservation across an entire RSS-sharded runtime.
+
+    Extends :func:`check_conservation` from one replica to the cluster.
+    Three layers of books must agree (all *lifetime* counters, so the
+    audit -- like the per-core one -- must run on a runtime whose stats
+    were never reset mid-run):
+
+    1. **RSS steering**, per port: every frame ingested from the shared
+       trace was steered to a queue backlog or dropped at a full one --
+       ``ingested == sum(steered) + sum(dropped)``.
+    2. **Queue hand-off**, per port: every steered frame was delivered
+       by its queue's NIC, refused by QoS admission, or still waits in
+       the staging backlog -- ``steered == delivered + qos_refused +
+       backlog``.
+    3. **Pipeline**, per replica *and* globally: the existing
+       ``rx_delivered == forwarded + dropped + rx_errors + in_flight``
+       invariant.
+
+    Returns the full breakdown with an ``errors`` list (empty when every
+    book balances) and a global ``balance`` (0 when offered load equals
+    forwarded + every counted loss + everything still in flight).
+    """
+    errors: List[str] = []
+    per_core = []
+    for index, binary in enumerate(runtime.replicas):
+        audit = check_conservation(binary.driver, binary.injector)
+        per_core.append(audit)
+        if audit["balance"] != 0:
+            errors.append(
+                "core %d: pipeline imbalance %d (%r)"
+                % (index, audit["balance"], audit))
+    ports: Dict[int, Dict[str, int]] = {}
+    total_ingested = 0
+    total_rss_dropped = 0
+    total_backlog = 0
+    total_qos_refused = 0
+    for port, mq in sorted(runtime.ports.items()):
+        ingested = mq.ingested
+        steered = mq.steered()
+        dropped = mq.dropped()
+        backlog = sum(mq.backlog_depths())
+        delivered = sum(
+            nic.rx_delivered for nic in mq.queues if nic is not None
+        )
+        qos_refused = 0
+        for binary in runtime.replicas:
+            pool = getattr(binary.driver, "qos_ports", {}).get(port)
+            if pool is not None:
+                qos_refused += sum(
+                    acc["dropped"] for acc in pool.priority_accounts().values()
+                )
+        if ingested != steered + dropped:
+            errors.append(
+                "port %d: ingested %d != steered %d + dropped %d"
+                % (port, ingested, steered, dropped))
+        if steered != delivered + qos_refused + backlog:
+            errors.append(
+                "port %d: steered %d != delivered %d + qos_refused %d "
+                "+ backlog %d"
+                % (port, steered, delivered, qos_refused, backlog))
+        ports[port] = {
+            "ingested": ingested,
+            "steered": steered,
+            "rss_dropped": dropped,
+            "delivered": delivered,
+            "qos_refused": qos_refused,
+            "backlog": backlog,
+        }
+        total_ingested += ingested
+        total_rss_dropped += dropped
+        total_backlog += backlog
+        total_qos_refused += qos_refused
+    forwarded = sum(audit["forwarded"] for audit in per_core)
+    pipeline_dropped = sum(audit["dropped"] for audit in per_core)
+    rx_errors = sum(audit["rx_errors"] for audit in per_core)
+    in_flight = sum(audit["in_flight"] for audit in per_core)
+    balance = total_ingested - (
+        forwarded + pipeline_dropped + rx_errors + in_flight
+        + total_rss_dropped + total_qos_refused + total_backlog
+    )
+    if balance != 0:
+        errors.append("global imbalance: %d frame(s) unaccounted" % balance)
+    return {
+        "offered": total_ingested,
+        "forwarded": forwarded,
+        "dropped": pipeline_dropped + total_rss_dropped + total_qos_refused,
+        "rx_errors": rx_errors,
+        "in_flight": in_flight + total_backlog,
+        "balance": balance,
+        "per_core": per_core,
+        "ports": ports,
+        "errors": errors,
+    }
+
+
+def assert_sharded_conserved(runtime) -> Dict[str, object]:
+    """Raise :class:`ShardConservationError` unless every book balances."""
+    audit = sharded_audit(runtime)
+    if audit["errors"]:
+        raise ShardConservationError(
+            "sharded packet conservation violated:\n  "
+            + "\n  ".join(audit["errors"]))
+    return audit
+
+
 def check_conservation(driver, injector: Optional[object] = None) -> Dict[str, int]:
     """Packet-conservation breakdown for the driver's *lifetime* stats.
 

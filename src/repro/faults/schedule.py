@@ -78,8 +78,14 @@ class FaultSpec:
     probability: float = 1.0
     magnitude: Optional[float] = None
     port: Optional[int] = None
+    #: RX queue scope: ``None`` hits every queue (the pre-sharding
+    #: behaviour); an integer arms the fault only on that queue's
+    #: replica, so a schedule can degrade one core of a sharded run.
+    queue: Optional[int] = None
 
     def __post_init__(self):
+        if self.queue is not None and self.queue < 0:
+            raise ValueError("queue must be >= 0")
         if self.kind not in ALL_KINDS:
             raise ValueError(
                 "unknown fault kind %r (expected one of %s)"
@@ -159,6 +165,21 @@ class FaultSchedule:
 
     def __iter__(self) -> Iterator[FaultSpec]:
         return iter(self.specs)
+
+    def for_queue(self, queue: int) -> "FaultSchedule":
+        """The sub-schedule one RX queue's replica sees.
+
+        Specs with ``queue=None`` apply everywhere; queue-scoped specs
+        survive only on their own queue.  The seed is preserved -- each
+        replica's injector already decorrelates it per core -- and an
+        empty result means that core runs entirely fault-free (no
+        injector is even wired, so its tier never demotes).
+        """
+        return FaultSchedule(
+            (spec for spec in self.specs
+             if spec.queue is None or spec.queue == queue),
+            seed=self.seed,
+        )
 
     def active(self, kind: str, tick: int, port: Optional[int] = None) -> List[FaultSpec]:
         """Specs of ``kind`` whose window covers ``tick`` (and ``port``)."""

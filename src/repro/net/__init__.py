@@ -2,11 +2,13 @@
 
 from repro.net.addresses import IPv4Address, MacAddress
 from repro.net.packet import Packet
+from repro.net.rss import IndirectionTable, RssConfig, toeplitz_v4
 from repro.net.trace import (
     CampusTraceGenerator,
     FixedSizeTraceGenerator,
     IncastBurstTrace,
     OversubscribedTrace,
+    SkewedTraceGenerator,
     TraceSpec,
 )
 
@@ -14,9 +16,13 @@ __all__ = [
     "IPv4Address",
     "MacAddress",
     "Packet",
+    "IndirectionTable",
+    "RssConfig",
+    "toeplitz_v4",
     "CampusTraceGenerator",
     "FixedSizeTraceGenerator",
     "IncastBurstTrace",
     "OversubscribedTrace",
+    "SkewedTraceGenerator",
     "TraceSpec",
 ]

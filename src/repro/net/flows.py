@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.net.addresses import IPv4Address
+from repro.net.rss import toeplitz_v4
 
 # Protocol numbers (duplicated from protocols to avoid a layering cycle).
 PROTO_ICMP = 1
@@ -34,23 +36,22 @@ class FlowSpec:
         )
 
     def rss_hash(self) -> int:
-        """A Toeplitz-like 32-bit receive-side-scaling hash of the 5-tuple.
+        """The Microsoft Toeplitz 32-bit receive-side-scaling hash.
 
-        Real NICs use the Microsoft Toeplitz hash; any well-mixing
-        deterministic function of the tuple preserves RSS's property of
-        keeping a flow on one core, which is all the evaluation needs.
+        Exactly the hash a ConnectX-class NIC computes with the default
+        key (:mod:`repro.net.rss`): TCP/UDP hash the 12-byte
+        addresses+ports input, other protocols the 8-byte addresses-only
+        input.  Memoized per tuple -- trace pools draw the same flows
+        over and over.
         """
-        h = 0x9E3779B9
-        for word in (
-            self.src_ip.value,
-            self.dst_ip.value,
-            (self.src_port << 16) | self.dst_port,
-            self.proto,
-        ):
-            h ^= word
-            h = (h * 0x85EBCA6B) & 0xFFFFFFFF
-            h ^= h >> 13
-        return h
+        return _toeplitz_of(self.src_ip.value, self.dst_ip.value,
+                            self.proto, self.src_port, self.dst_port)
+
+
+@lru_cache(maxsize=65536)
+def _toeplitz_of(src_ip: int, dst_ip: int, proto: int,
+                 src_port: int, dst_port: int) -> int:
+    return toeplitz_v4(src_ip, dst_ip, proto, src_port, dst_port)
 
 
 class FlowSet:

@@ -16,8 +16,10 @@ trace packets 25 times.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from functools import lru_cache
+from itertools import accumulate
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence
 
 from repro.net.addresses import IPv4Address, MacAddress
@@ -306,6 +308,121 @@ class IncastBurstTrace(_PacedTrace):
         for prio, rate in self.rates.items():
             if rate:
                 self._refresh(prio, rate)
+
+
+def _mix32(x: int) -> int:
+    """A 32-bit finalizer (murmur3-style): pure, well-mixing, cheap."""
+    x &= 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x7FEB352D) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x846CA68B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+class _LazyFlowView:
+    """Sequence facade over a :class:`SkewedTraceGenerator`'s flow space."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, gen: "SkewedTraceGenerator"):
+        self._gen = gen
+
+    def __len__(self) -> int:
+        return self._gen.n_flows
+
+    def __getitem__(self, rank: int) -> FlowSpec:
+        return self._gen.flow_at(rank)
+
+
+class SkewedTraceGenerator:
+    """A million-flow trace with configurable popularity skew.
+
+    The "millions of users" workload: the flow population is *lazy* -- a
+    flow is a pure function of ``(seed, rank)``, so a million-flow (or
+    billion-flow) population costs nothing to stand up and pickles as
+    three integers.  Popularity is either uniform (``zipf_s=None``) or
+    Zipf(s) over ranks, where small ranks are the elephants: at
+    ``zipf_s=1.1`` over a million flows the top flow alone carries ~7% of
+    packets, which is exactly the load RSS cannot spread (every packet of
+    a flow must stay on one queue) and what the ``rss_imbalance``
+    experiment measures.
+
+    Speaks the plain trace protocol (``next_packet`` / ``packets`` /
+    ``mean_frame_length`` / ``flows``), so it drops in anywhere a pooled
+    generator does, including under :class:`FiniteTrace`.
+    """
+
+    def __init__(self, n_flows: int = 1_000_000, zipf_s: Optional[float] = None,
+                 frame_len: int = 256, seed: int = 7,
+                 src_subnet: str = "10.0.0.0", dst_subnet: str = "192.168.0.0"):
+        if n_flows < 1:
+            raise ValueError("flow count must be >= 1")
+        if not MIN_FRAME <= frame_len <= MAX_FRAME:
+            raise ValueError("frame length %d outside [%d, %d]"
+                             % (frame_len, MIN_FRAME, MAX_FRAME))
+        if zipf_s is not None and zipf_s <= 0:
+            raise ValueError("zipf_s must be positive (or None for uniform)")
+        self.n_flows = n_flows
+        self.zipf_s = zipf_s
+        self.frame_len = frame_len
+        self.seed = seed
+        self._src_base = IPv4Address(src_subnet).value
+        self._dst_base = IPv4Address(dst_subnet).value
+        self._rng = random.Random(seed)
+        self._seq = 0
+        self._cdf: Optional[List[float]] = None
+        if zipf_s is not None:
+            weights = [(rank + 1) ** -zipf_s for rank in range(n_flows)]
+            total = sum(weights)
+            self._cdf = list(accumulate(w / total for w in weights))
+
+    def flow_at(self, rank: int) -> FlowSpec:
+        """The flow at popularity rank ``rank`` (pure in seed and rank)."""
+        if not 0 <= rank < self.n_flows:
+            raise IndexError("flow rank %d outside population" % rank)
+        h1 = _mix32(self.seed * 0x9E3779B9 + 2 * rank + 1)
+        h2 = _mix32(h1 ^ (rank + 0x5851F42D))
+        r = h1 % 100
+        proto = PROTO_TCP if r < 85 else (PROTO_UDP if r < 99 else PROTO_ICMP)
+        # 10/8 sources x /16 destinations: a million distinct tuples with
+        # destinations the shipped routing tables still cover.
+        src_ip = IPv4Address(self._src_base + 1 + (h2 % ((1 << 24) - 2)))
+        dst_ip = IPv4Address(self._dst_base + 1 + (h1 >> 16) % 65534)
+        if proto == PROTO_ICMP:
+            src_port = dst_port = 0
+        else:
+            src_port = 1024 + (h2 >> 16) % (65536 - 1024)
+            dst_port = (80, 443, 53, 8080, 22)[h1 % 5]
+        return FlowSpec(src_ip=src_ip, dst_ip=dst_ip, proto=proto,
+                        src_port=src_port, dst_port=dst_port)
+
+    def _pick_rank(self) -> int:
+        u = self._rng.random()
+        if self._cdf is None:
+            return min(int(u * self.n_flows), self.n_flows - 1)
+        return bisect_left(self._cdf, u)
+
+    @property
+    def flows(self) -> _LazyFlowView:
+        return _LazyFlowView(self)
+
+    def mean_frame_length(self) -> float:
+        return float(self.frame_len)
+
+    def next_packet(self, timestamp: float = 0.0) -> Packet:
+        flow = self.flow_at(self._pick_rank())
+        pkt = Packet(build_frame(flow, self.frame_len), timestamp=timestamp)
+        pkt.rss_hash = flow.rss_hash()
+        pkt.set_anno_u32(ANNO_SEQUENCE, self._seq)
+        self._seq += 1
+        return pkt
+
+    def packets(self, count: int, rate_pps: Optional[float] = None) -> Iterator[Packet]:
+        interval = 1.0 / rate_pps if rate_pps else 0.0
+        for i in range(count):
+            yield self.next_packet(timestamp=i * interval)
 
 
 class CampusTraceGenerator(_PooledTrace):

@@ -14,7 +14,12 @@ from repro.perf.report import (
     format_qos_report,
     format_report,
 )
-from repro.perf.runner import ThroughputPoint, measure_multicore, measure_throughput
+from repro.perf.runner import (
+    ThroughputPoint,
+    measure_multicore,
+    measure_sharded,
+    measure_throughput,
+)
 from repro.perf.stats import linear_fit, percentile, quadratic_fit
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "format_report",
     "linear_fit",
     "measure_multicore",
+    "measure_sharded",
     "measure_throughput",
     "percentile",
     "quadratic_fit",

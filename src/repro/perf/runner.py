@@ -95,40 +95,23 @@ def measure_throughput(
     )
 
 
-def measure_multicore(
-    binaries: Sequence[SpecializedBinary],
-    batches: int = 200,
-    warmup_batches: int = 100,
-) -> ThroughputPoint:
-    """Aggregate throughput of per-core replicas sharing the LLC.
+def _aggregate_point(runs: Sequence[MeasuredRun], params, n_ports: int,
+                     n_cores: int) -> ThroughputPoint:
+    """Fold per-core measured runs into one cluster-level point.
 
-    Cores are simulated round-robin so their cache footprints really
-    contend in the shared LLC; the aggregate rate is the sum of per-core
-    service rates, clamped by the shared link/PCIe (RSS splits one port's
-    traffic, so the port ceilings apply to the *sum*).
+    The aggregate CPU rate is the sum of per-core service rates, clamped
+    by the shared link/PCIe (RSS splits one port's traffic, so the port
+    ceilings apply to the *sum*); the queue ceiling scales with cores
+    because every core adds an RX queue.  With ``n_cores == 1`` every
+    formula reduces exactly to :func:`measure_throughput`'s.
     """
-    if not binaries:
-        raise ValueError("no binaries")
-    for binary in binaries:
-        binary.warmup(warmup_batches)
-    # Interleave so LLC contention between replicas is realistic.
-    for _ in range(batches):
-        for binary in binaries:
-            binary.driver.step()
-    runs: List[MeasuredRun] = [b.run(0) for b in binaries]
     total_cpu_pps = sum(1e9 / r.ns_per_packet for r in runs)
     frame = runs[0].mean_frame_len or 64.0
-    params = binaries[0].params
-    n_ports = len(binaries[0].pmds)
-    # RSS: every core adds a queue, so the queue ceiling scales with cores.
-    queue_limit = params.nic_queue_pps_limit * len(binaries) * n_ports
-    pcie_limit = PcieModel(params).pps_limit(frame) * n_ports
-    link_limit = params.line_rate_pps(frame) * n_ports
     limits = {
         "cpu": total_cpu_pps,
-        "queue": queue_limit,
-        "pcie": pcie_limit,
-        "link": link_limit,
+        "queue": params.nic_queue_pps_limit * n_cores * n_ports,
+        "pcie": PcieModel(params).pps_limit(frame) * n_ports,
+        "link": params.line_rate_pps(frame) * n_ports,
     }
     bound_by = min(limits, key=limits.get)
     pps = limits[bound_by]
@@ -143,3 +126,51 @@ def measure_multicore(
         bound_by=bound_by,
         run=runs[0],
     )
+
+
+def measure_multicore(
+    binaries: Sequence[SpecializedBinary],
+    batches: int = 200,
+    warmup_batches: int = 100,
+) -> ThroughputPoint:
+    """Aggregate throughput of per-core replicas sharing the LLC.
+
+    The pre-sharding approximation: N independent binaries, each with its
+    own full-rate trace, stepped round-robin so their cache footprints
+    really contend in the shared LLC.  For the real single-arrival-stream
+    RSS fan-out, build a :class:`~repro.core.sharded.ShardedRuntime` and
+    use :func:`measure_sharded`.
+    """
+    if not binaries:
+        raise ValueError("no binaries")
+    for binary in binaries:
+        binary.warmup(warmup_batches)
+    # Interleave so LLC contention between replicas is realistic.
+    for _ in range(batches):
+        for binary in binaries:
+            binary.driver.step()
+    runs: List[MeasuredRun] = [b.run(0) for b in binaries]
+    return _aggregate_point(runs, binaries[0].params, len(binaries[0].pmds),
+                            len(binaries))
+
+
+def measure_sharded(
+    runtime,
+    batches: int = 200,
+    warmup_batches: int = 100,
+) -> ThroughputPoint:
+    """Measure an RSS-sharded runtime at saturation.
+
+    Warms up and steps the whole cluster in interleaved rounds (the
+    :class:`~repro.core.sharded.ShardedRuntime` already round-robins its
+    replicas), then aggregates with the same ceiling arithmetic as
+    :func:`measure_multicore`.  A 1-core sharded runtime produces a
+    point *bit-identical* to :func:`measure_throughput` on the unsharded
+    binary -- the identity the tier-1 suite pins.
+    """
+    runtime.warmup(warmup_batches)
+    runtime.run_batches(batches)
+    runs = runtime.runs()
+    first = runtime.replicas[0]
+    return _aggregate_point(runs, first.params, len(first.pmds),
+                            runtime.n_cores)

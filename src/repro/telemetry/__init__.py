@@ -47,6 +47,7 @@ from repro.telemetry.registry import (
     Counter,
     CounterRegistry,
     CounterScope,
+    MergedRegistry,
     TelemetryError,
     delta,
     is_glob,
@@ -146,6 +147,7 @@ __all__ = [
     "COUNTER",
     "Counter",
     "CounterRegistry",
+    "MergedRegistry",
     "CounterScope",
     "CycleAttribution",
     "DRIVER_BUCKET",

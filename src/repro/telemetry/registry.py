@@ -174,6 +174,131 @@ class CounterRegistry:
     def scope(self, prefix: str) -> "CounterScope":
         return CounterScope(self, prefix)
 
+    @classmethod
+    def merge(cls, registries: Iterable["CounterRegistry"],
+              prefix: str = "core") -> "MergedRegistry":
+        """A live cluster-level view over per-core registries.
+
+        ``merged.get("driver.rx_packets")`` sums the name across every
+        child; ``merged.get("core2.driver.rx_packets")`` reads core 2
+        alone.  Unlike :func:`merge` (which sums dict snapshots), the
+        returned registry is *live*: reads see the children's current
+        values, so a control plane can watch a run in flight.
+        """
+        return MergedRegistry(registries, prefix=prefix)
+
+
+class MergedRegistry(CounterRegistry):
+    """Aggregating read-only view over N per-core registries.
+
+    Name resolution order: ordinary mounts first (the sharded runtime
+    mounts per-port RSS ledgers here), then ``<prefix><i>.rest`` reads
+    child ``i`` directly, then a bare name sums across every child that
+    has it.  ``names()`` exposes both forms, so glob reads and
+    Prometheus exposition see aggregate series *and* per-core series.
+
+    Creating counters through the merged view is refused -- per-core hot
+    paths own their handles; the merged view exists to be read.
+    """
+
+    def __init__(self, children: Iterable[CounterRegistry], prefix: str = "core"):
+        super().__init__()
+        if not prefix or is_glob(prefix):
+            raise TelemetryError("core prefix must be a literal name")
+        self.children: List[CounterRegistry] = list(children)
+        self.prefix = prefix
+
+    # -- resolution ----------------------------------------------------------
+
+    def _child_split(self, name: str):
+        """``core3.driver.x`` -> ``(3, "driver.x")``, else ``None``."""
+        if not name.startswith(self.prefix):
+            return None
+        head, dot, rest = name.partition(".")
+        if not dot:
+            return None
+        digits = head[len(self.prefix):]
+        if not digits.isdigit():
+            return None
+        return int(digits), rest
+
+    def counter(self, name: str, kind: str = COUNTER) -> Counter:
+        raise TelemetryError(
+            "merged registry is read-only; create %r on a per-core registry"
+            % name)
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return mounted.get(name[len(prefix) + 1:], default)
+        split = self._child_split(name)
+        if split is not None:
+            index, rest = split
+            if 0 <= index < len(self.children):
+                return self.children[index].get(rest, default)
+            return default
+        total: Optional[Number] = None
+        for child in self.children:
+            if name in child:
+                total = (total or 0) + child.get(name)
+        return default if total is None else total
+
+    def __contains__(self, name: str) -> bool:
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return name[len(prefix) + 1:] in mounted
+        split = self._child_split(name)
+        if split is not None:
+            index, rest = split
+            return 0 <= index < len(self.children) and rest in self.children[index]
+        return any(name in child for child in self.children)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        for prefix, mounted in self._mounts.items():
+            if name.startswith(prefix + "."):
+                return mounted.kind_of(name[len(prefix) + 1:])
+        split = self._child_split(name)
+        if split is not None:
+            index, rest = split
+            if 0 <= index < len(self.children):
+                return self.children[index].kind_of(rest)
+            return None
+        for child in self.children:
+            kind = child.kind_of(name)
+            if kind is not None:
+                return kind
+        return None
+
+    def names(self, pattern: Optional[str] = None) -> List[str]:
+        seen = set()
+        for mount_prefix, mounted in self._mounts.items():
+            seen.update(mount_prefix + "." + n for n in mounted.names())
+        for index, child in enumerate(self.children):
+            for n in child.names():
+                seen.add(n)
+                seen.add("%s%d.%s" % (self.prefix, index, n))
+        if pattern is not None:
+            seen = {n for n in seen if fnmatchcase(n, pattern)}
+        return sorted(seen)
+
+    def aggregate_names(self, pattern: Optional[str] = None) -> List[str]:
+        """Only the summed (non-core-prefixed) names."""
+        seen = set()
+        for child in self.children:
+            seen.update(child.names())
+        if pattern is not None:
+            seen = {n for n in seen if fnmatchcase(n, pattern)}
+        return sorted(seen)
+
+    def per_core(self, name: str) -> List[Number]:
+        """The per-child values behind one aggregate name."""
+        return [child.get(name) for child in self.children]
+
+    def reset(self, prefix: str = "") -> None:
+        for child in self.children:
+            child.reset(prefix)
+        super().reset(prefix)
+
 
 class CounterScope:
     """A prefixed window onto a registry (one element's, one NIC's)."""

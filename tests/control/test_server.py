@@ -1,0 +1,153 @@
+"""Tests for the asyncio control socket and Prometheus exposition."""
+
+import http.client
+import socket
+import threading
+
+import pytest
+
+from repro.control import ControlClient, ControlSocket, metric_name, render
+from repro.telemetry.registry import CounterRegistry
+
+
+def make_registry():
+    reg = CounterRegistry()
+    reg.counter("driver.rx_packets").value = 100
+    reg.gauge("queue.depth").set(7)
+    return reg
+
+
+def make_merged():
+    children = []
+    for value in (10, 32):
+        child = CounterRegistry()
+        child.counter("driver.rx_packets").value = value
+        children.append(child)
+    merged = CounterRegistry.merge(children)
+    ledger = CounterRegistry()
+    ledger.counter("ingested").value = 42
+    merged.mount("rss.0", ledger)
+    return merged, children
+
+
+class TestRender:
+    def test_metric_name_sanitizes(self):
+        assert metric_name("driver.rx_packets") == "repro_driver_rx_packets"
+        assert metric_name("nic.0.imissed", "x") == "x_nic_0_imissed"
+
+    def test_plain_registry(self):
+        text = render(make_registry())
+        assert "# TYPE repro_driver_rx_packets counter" in text
+        assert "repro_driver_rx_packets 100" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert text.endswith("# EOF\n")
+
+    def test_merged_registry_has_aggregate_and_labels(self):
+        merged, _ = make_merged()
+        text = render(merged)
+        assert "repro_driver_rx_packets 42" in text
+        assert 'repro_driver_rx_packets{core="0"} 10' in text
+        assert 'repro_driver_rx_packets{core="1"} 32' in text
+        assert "repro_rss_0_ingested 42" in text
+
+
+class TestControlSocket:
+    def test_line_protocol_read(self):
+        with ControlSocket(make_registry()) as (host, port):
+            with ControlClient(host, port) as client:
+                assert client.read("driver.rx_packets") == 100
+                assert client.cores() == 1
+                with pytest.raises(KeyError):
+                    client.read("nope")
+
+    def test_merged_reads_and_cores(self):
+        merged, children = make_merged()
+        with ControlSocket(merged) as (host, port):
+            with ControlClient(host, port) as client:
+                assert client.cores() == 2
+                assert client.read("driver.rx_packets") == 42
+                assert client.read("core1.driver.rx_packets") == 32
+                assert client.read("rss.0.ingested") == 42
+
+    def test_live_updates_visible_mid_connection(self):
+        reg = make_registry()
+        handle = reg.counter("driver.rx_packets")
+        with ControlSocket(reg) as (host, port):
+            with ControlClient(host, port) as client:
+                before = client.read("driver.rx_packets")
+                handle.add(23)
+                after = client.read("driver.rx_packets")
+        assert (before, after) == (100, 123)
+
+    def test_names_verb(self):
+        with ControlSocket(make_registry()) as (host, port):
+            with ControlClient(host, port) as client:
+                assert client.names() == ["driver.rx_packets", "queue.depth"]
+                assert client.names("driver.*") == ["driver.rx_packets"]
+
+    def test_metrics_verb(self):
+        merged, _ = make_merged()
+        with ControlSocket(merged) as (host, port):
+            with ControlClient(host, port) as client:
+                text = client.metrics()
+        assert 'repro_driver_rx_packets{core="0"} 10' in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_many_concurrent_clients(self):
+        merged, children = make_merged()
+        results = []
+        errors = []
+
+        def poll(host, port):
+            try:
+                with ControlClient(host, port) as client:
+                    for _ in range(20):
+                        results.append(client.read("driver.rx_packets"))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with ControlSocket(merged) as (host, port):
+            threads = [threading.Thread(target=poll, args=(host, port))
+                       for _ in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(results) == 200
+        assert set(results) == {42}
+
+    def test_http_scrape(self):
+        merged, _ = make_merged()
+        with ControlSocket(merged) as (host, port):
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/metrics")
+            resp = conn.getresponse()
+            body = resp.read().decode()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type").startswith("text/plain")
+            assert "repro_driver_rx_packets 42" in body
+            conn.close()
+
+    def test_http_unknown_path_404(self):
+        with ControlSocket(make_registry()) as (host, port):
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/bogus")
+            assert conn.getresponse().status == 404
+            conn.close()
+
+    def test_unknown_verb_is_an_error_not_a_crash(self):
+        with ControlSocket(make_registry()) as (host, port):
+            sock = socket.create_connection((host, port), timeout=5)
+            f = sock.makefile("rwb")
+            f.write(b"FROB everything\nREAD driver.rx_packets\n")
+            f.flush()
+            assert f.readline().startswith(b"ERR unknown verb")
+            assert f.readline() == b"driver.rx_packets 100\n"
+            sock.close()
+
+    def test_stop_is_idempotent_and_restartable_instance_rejected(self):
+        server = ControlSocket(make_registry())
+        server.start()
+        server.stop()
+        server.stop()  # no-op

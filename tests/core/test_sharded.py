@@ -1,0 +1,199 @@
+"""Tests for the RSS-sharded runtime: identity, conservation, scoping."""
+
+import pytest
+
+from repro.core.options import BuildOptions
+from repro.core.packetmill import PacketMill
+from repro.core.profile import RunProfile
+from repro.core.sharded import ShardedRuntime
+from repro.faults.audit import (
+    ShardConservationError,
+    assert_sharded_conserved,
+    sharded_audit,
+)
+from repro.faults.schedule import RX_UNDERRUN, FaultSchedule, FaultSpec
+from repro.net.rss import MEMPOOL_SHARED, RssConfig
+from repro.net.trace import FiniteTrace, SkewedTraceGenerator
+from repro.perf.runner import measure_sharded, measure_throughput
+
+CONFIG = """
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> CheckIPHeader -> DecIPTTL -> output;
+"""
+
+
+def finite_trace_factory(n_packets=2000, zipf_s=None, n_flows=1000, seed=3):
+    def factory(port, core):
+        return FiniteTrace(
+            SkewedTraceGenerator(n_flows=n_flows, zipf_s=zipf_s, seed=seed),
+            n_packets)
+    return factory
+
+
+def endless_trace_factory(seed=3):
+    return lambda port, core: SkewedTraceGenerator(n_flows=5000, seed=seed)
+
+
+def build_sharded(n_cores=2, trace=None, **kwargs):
+    mill = PacketMill(CONFIG, trace=trace or finite_trace_factory(),
+                      n_cores=n_cores, **kwargs)
+    return mill.build_sharded()
+
+
+class TestSingleCoreIdentity:
+    """An n_cores=1 sharded runtime is bit-identical to the plain path."""
+
+    def test_stats_bit_identical(self):
+        plain = PacketMill(CONFIG, trace=finite_trace_factory()).build()
+        plain.warmup(10)
+        plain_run = plain.run(40)
+
+        runtime = build_sharded(n_cores=1)
+        runtime.warmup(10)
+        runtime.run_batches(40)
+        sharded_run = runtime.runs()[0]
+
+        assert plain_run.stats.rx_packets == sharded_run.stats.rx_packets
+        assert plain_run.stats.tx_packets == sharded_run.stats.tx_packets
+        assert plain_run.stats.tx_bytes == sharded_run.stats.tx_bytes
+        assert plain_run.stats.drops == sharded_run.stats.drops
+        assert plain_run.elapsed_ns == sharded_run.elapsed_ns
+        assert plain_run.counters == sharded_run.counters
+
+    def test_measured_point_bit_identical(self):
+        plain = measure_throughput(
+            PacketMill(CONFIG, trace=endless_trace_factory()).build(),
+            batches=120, warmup_batches=60)
+        sharded = measure_sharded(
+            PacketMill(CONFIG, trace=endless_trace_factory(),
+                       n_cores=1).build_sharded(),
+            batches=120, warmup_batches=60)
+        assert plain.pps == sharded.pps
+        assert plain.gbps == sharded.gbps
+        assert plain.ns_per_packet == sharded.ns_per_packet
+        assert plain.bound_by == sharded.bound_by
+
+
+class TestShardedExecution:
+    def test_replicas_split_the_stream(self):
+        runtime = build_sharded(n_cores=4)
+        runtime.run_until_eof()
+        per_core_rx = [b.driver.stats.rx_packets for b in runtime.replicas]
+        assert sum(per_core_rx) == 2000
+        # Uniform flows: every queue sees real traffic.
+        assert all(rx > 0 for rx in per_core_rx)
+
+    def test_deterministic_across_builds(self):
+        a = build_sharded(n_cores=3)
+        b = build_sharded(n_cores=3)
+        a.run_until_eof()
+        b.run_until_eof()
+        for ra, rb in zip(a.replicas, b.replicas):
+            assert ra.driver.stats.rx_packets == rb.driver.stats.rx_packets
+            assert ra.cpu.elapsed_ns() == rb.cpu.elapsed_ns()
+
+    def test_run_until_eof_cap_raises(self):
+        runtime = build_sharded(n_cores=2, trace=endless_trace_factory())
+        with pytest.raises(RuntimeError):
+            runtime.run_until_eof(max_batches=8)
+
+    def test_from_profile_builds_sharded_runtime(self):
+        profile = RunProfile(trace=finite_trace_factory(), n_cores=2)
+        runtime = PacketMill.from_profile(CONFIG, profile).build_runtime()
+        assert isinstance(runtime, ShardedRuntime)
+        assert runtime.n_cores == 2
+
+    def test_shared_mempool_option(self):
+        runtime = build_sharded(
+            n_cores=2, rss=RssConfig(mempool=MEMPOOL_SHARED))
+        models = {id(b.model) for b in runtime.replicas}
+        assert len(models) == 1
+        runtime.run_until_eof()
+        assert_sharded_conserved(runtime)
+
+
+class TestShardedConservation:
+    def test_uniform_load_conserves_exactly(self):
+        runtime = build_sharded(n_cores=4)
+        runtime.run_until_eof()
+        audit = assert_sharded_conserved(runtime)
+        assert audit["offered"] == 2000
+        assert audit["balance"] == 0
+        assert audit["forwarded"] + audit["dropped"] + \
+            audit["rx_errors"] + audit["in_flight"] == 2000
+
+    def test_elephant_flow_drops_are_counted(self):
+        runtime = build_sharded(
+            n_cores=4,
+            trace=finite_trace_factory(n_packets=30_000, zipf_s=1.6),
+            rss=RssConfig(backlog_cap=256))
+        runtime.run_until_eof()
+        audit = assert_sharded_conserved(runtime)
+        # The hot queue overflowed its backlog -- but every loss has a
+        # counter and the global books still balance.
+        assert sum(p["rss_dropped"] for p in audit["ports"].values()) > 0
+        assert audit["balance"] == 0
+
+    def test_audit_detects_cooked_books(self):
+        runtime = build_sharded(n_cores=2)
+        runtime.run_until_eof()
+        runtime.replicas[0].driver.stats  # run is done and balanced
+        # Cook one queue's steering ledger and the audit must object.
+        runtime.ports[0].registry.counter("q0.steered").value += 5
+        with pytest.raises(ShardConservationError):
+            assert_sharded_conserved(runtime)
+
+
+class TestPerQueueFaultScoping:
+    def test_queue_scoped_fault_only_arms_its_replica(self):
+        schedule = FaultSchedule(
+            [FaultSpec(RX_UNDERRUN, start=0, stop=50, probability=0.9,
+                       queue=1)],
+            seed=7)
+        runtime = build_sharded(n_cores=3, faults=schedule)
+        assert runtime.replicas[0].injector is None
+        assert runtime.replicas[1].injector is not None
+        assert runtime.replicas[2].injector is None
+
+    def test_unscoped_fault_arms_every_replica(self):
+        schedule = FaultSchedule(
+            [FaultSpec(RX_UNDERRUN, start=0, stop=50, probability=0.9)],
+            seed=7)
+        runtime = build_sharded(n_cores=2, faults=schedule)
+        assert all(b.injector is not None for b in runtime.replicas)
+
+    def test_faulted_shard_still_conserves(self):
+        schedule = FaultSchedule(
+            [FaultSpec(RX_UNDERRUN, start=0, stop=30, probability=0.8,
+                       queue=0)],
+            seed=11)
+        runtime = build_sharded(n_cores=2, faults=schedule)
+        runtime.run_until_eof()
+        audit = sharded_audit(runtime)
+        assert audit["errors"] == []
+        assert audit["balance"] == 0
+
+
+class TestMergedTelemetry:
+    def test_aggregate_equals_sum_of_cores(self):
+        runtime = build_sharded(n_cores=3)
+        runtime.run_until_eof()
+        merged = runtime.registry
+        total = merged.get("driver.rx_packets")
+        per_core = [merged.get("core%d.driver.rx_packets" % i)
+                    for i in range(3)]
+        assert total == sum(per_core)
+        assert per_core == merged.per_core("driver.rx_packets")
+
+    def test_rss_ledger_mounted(self):
+        runtime = build_sharded(n_cores=2)
+        runtime.run_until_eof()
+        assert runtime.registry.get("rss.0.ingested") == 2000
+        assert runtime.registry.get("rss.0.q0.steered") + \
+            runtime.registry.get("rss.0.q1.steered") == 2000
+
+    def test_describe_mentions_every_core(self):
+        runtime = build_sharded(n_cores=2)
+        text = runtime.describe()
+        assert "core 0" in text and "core 1" in text and "port 0" in text

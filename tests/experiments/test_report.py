@@ -12,7 +12,7 @@ class TestReportGenerator:
         assert labels == [
             "Table 1", "Figure 1", "Figure 4", "Figure 5", "Figure 6",
             "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
-            "QoS congestion",
+            "QoS congestion", "RSS imbalance",
         ]
 
     def test_generate_single_section(self, tmp_path):

@@ -1,0 +1,65 @@
+"""Tests for the RSS elephant-flow imbalance experiment."""
+
+import pytest
+
+from repro.experiments import rss_imbalance
+from repro.experiments.common import QUICK
+
+
+@pytest.fixture(scope="module")
+def result():
+    return rss_imbalance.run(QUICK)
+
+
+class TestExperiment:
+    def test_claims_hold(self, result):
+        rss_imbalance.check(result)
+
+    def test_uniform_is_balanced_zipf_is_not(self, result):
+        assert result.imbalance(0) < result.imbalance(len(result.skews) - 1)
+
+    def test_books_close_for_every_skew(self, result):
+        for i, offered in enumerate(result.offered):
+            forwarded = sum(result.per_core_tx[i])
+            delivered = sum(result.per_queue_steered[i])
+            dropped = result.rss_dropped[i]
+            # The run drained to EOF: everything steered was delivered
+            # and forwarded (NAT forwards all), plus counted RSS drops.
+            assert delivered + dropped == offered
+            assert forwarded == delivered
+
+    def test_table_and_json_render(self, result):
+        table = rss_imbalance.format_table(result)
+        assert "uniform" in table and "zipf-1.6" in table
+        doc = result.to_dict()
+        assert doc["name"] == "rss_imbalance"
+        assert len(doc["points"]) == len(rss_imbalance.SKEWS)
+
+
+class TestCheckLogic:
+    def _synthetic(self, gbps, steered, dropped_per_q):
+        n = len(gbps)
+        return rss_imbalance.ImbalanceResult(
+            skews=list(rss_imbalance.SKEWS)[:n],
+            gbps=gbps,
+            per_queue_steered=steered,
+            per_queue_dropped=dropped_per_q,
+            per_core_tx=steered,
+            rss_dropped=[sum(d) for d in dropped_per_q],
+            offered=[sum(s) + sum(d) for s, d in zip(steered, dropped_per_q)],
+        )
+
+    def test_rejects_no_throughput_loss(self):
+        result = self._synthetic(
+            [40.0, 40.0, 40.0],
+            [[1000] * 4, [1000] * 4, [2500, 500, 500, 500]],
+            [[0] * 4, [0] * 4, [500, 0, 0, 0]])
+        with pytest.raises(AssertionError):
+            rss_imbalance.check(result)
+
+    def test_accepts_the_expected_shape(self):
+        result = self._synthetic(
+            [40.0, 36.0, 30.0],
+            [[1000] * 4, [1400, 900, 900, 800], [2000, 700, 700, 600]],
+            [[0] * 4, [100, 0, 0, 0], [2000, 0, 0, 0]])
+        rss_imbalance.check(result)

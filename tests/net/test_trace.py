@@ -156,3 +156,55 @@ class TestCampusTrace:
         gen = CampusTraceGenerator(TraceSpec(pool_size=1024))
         tcp = sum(1 for p in gen.packets(1024) if p.data_bytes()[23] == PROTO_TCP)
         assert tcp > 700
+
+
+class TestSkewedTrace:
+    def _gen(self, **kwargs):
+        from repro.net.trace import SkewedTraceGenerator
+
+        defaults = dict(n_flows=100_000, seed=9)
+        defaults.update(kwargs)
+        return SkewedTraceGenerator(**defaults)
+
+    def test_flow_at_is_pure_in_seed_and_rank(self):
+        a, b = self._gen(), self._gen()
+        for rank in (0, 1, 57, 99_999):
+            assert a.flow_at(rank) == b.flow_at(rank)
+        assert self._gen(seed=10).flow_at(0) != a.flow_at(0)
+
+    def test_million_flow_population_is_lazy(self):
+        gen = self._gen(n_flows=1_000_000)
+        assert len(gen.flows) == 1_000_000
+        flow = gen.flows[123_456]
+        assert flow == gen.flow_at(123_456)
+
+    def test_uniform_spreads_flows(self):
+        gen = self._gen(n_flows=1000)
+        seen = {gen.next_packet().rss_hash for _ in range(2000)}
+        assert len(seen) > 500
+
+    def test_zipf_concentrates_on_elephants(self):
+        gen = self._gen(n_flows=1000, zipf_s=1.6)
+        from collections import Counter
+        counts = Counter(gen.next_packet().rss_hash for _ in range(4000))
+        top = counts.most_common(1)[0][1]
+        assert top > 4000 * 0.25, "top flow only %d of 4000" % top
+
+    def test_sequence_and_hash_annotations(self):
+        gen = self._gen(n_flows=100)
+        first = gen.next_packet()
+        second = gen.next_packet()
+        assert second.anno_u32(ANNO_SEQUENCE) == first.anno_u32(ANNO_SEQUENCE) + 1
+        assert first.rss_hash is not None
+
+    def test_destinations_stay_inside_192_168(self):
+        gen = self._gen(n_flows=50_000)
+        for rank in range(0, 50_000, 997):
+            dst = gen.flow_at(rank).dst_ip.value
+            assert (dst >> 16) == (192 << 8) | 168
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            self._gen(n_flows=0)
+        with pytest.raises(ValueError):
+            self._gen(zipf_s=-1.0)

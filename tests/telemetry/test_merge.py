@@ -1,0 +1,135 @@
+"""Tests for the live merged registry (cluster-level telemetry views)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.registry import (
+    GAUGE,
+    CounterRegistry,
+    MergedRegistry,
+    TelemetryError,
+)
+
+
+def make_children(values_per_core):
+    children = []
+    for values in values_per_core:
+        reg = CounterRegistry()
+        for name, value in values.items():
+            reg.counter(name).value = value
+        children.append(reg)
+    return children
+
+
+class TestBasics:
+    def test_aggregate_sums_across_children(self):
+        merged = CounterRegistry.merge(make_children([
+            {"driver.rx_packets": 10, "driver.drops": 1},
+            {"driver.rx_packets": 32},
+        ]))
+        assert merged.get("driver.rx_packets") == 42
+        assert merged.get("driver.drops") == 1
+        assert merged.get("missing", -1) == -1
+
+    def test_core_prefixed_reads_one_child(self):
+        merged = CounterRegistry.merge(make_children([
+            {"driver.rx_packets": 10}, {"driver.rx_packets": 32}]))
+        assert merged.get("core0.driver.rx_packets") == 10
+        assert merged.get("core1.driver.rx_packets") == 32
+        assert merged.get("core7.driver.rx_packets", -1) == -1
+        assert "core1.driver.rx_packets" in merged
+        assert "core7.driver.rx_packets" not in merged
+
+    def test_live_view_sees_updates(self):
+        children = make_children([{"x": 0}, {"x": 0}])
+        merged = CounterRegistry.merge(children)
+        assert merged.get("x") == 0
+        children[0].counter("x").add(5)
+        children[1].counter("x").add(2)
+        assert merged.get("x") == 7
+
+    def test_mounts_resolve_before_children(self):
+        children = make_children([{"ingested": 999}])
+        merged = CounterRegistry.merge(children)
+        ledger = CounterRegistry()
+        ledger.counter("ingested").value = 123
+        merged.mount("rss.0", ledger)
+        assert merged.get("rss.0.ingested") == 123
+        assert merged.get("ingested") == 999
+
+    def test_read_only(self):
+        merged = CounterRegistry.merge(make_children([{"x": 1}]))
+        with pytest.raises(TelemetryError):
+            merged.counter("new")
+
+    def test_kind_resolution(self):
+        child = CounterRegistry()
+        child.gauge("depth").set(4)
+        child.counter("events").add(2)
+        merged = CounterRegistry.merge([child])
+        assert merged.kind_of("depth") == GAUGE
+        assert merged.kind_of("core0.events") == "counter"
+        assert merged.kind_of("missing") is None
+
+    def test_names_carry_both_views(self):
+        merged = CounterRegistry.merge(make_children([{"a": 1}, {"a": 2}]))
+        names = merged.names()
+        assert "a" in names and "core0.a" in names and "core1.a" in names
+        assert merged.aggregate_names() == ["a"]
+
+    def test_reset_cascades(self):
+        children = make_children([{"x": 5}, {"x": 7}])
+        merged = CounterRegistry.merge(children)
+        merged.reset()
+        assert merged.get("x") == 0
+        assert children[0].get("x") == 0
+
+
+class TestConservationProperties:
+    """The merged view never invents or loses a count."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.dictionaries(
+            st.sampled_from(["driver.rx_packets", "driver.drops",
+                             "nic.0.imissed", "nic.0.rx_nombuf"]),
+            st.integers(0, 10**9), max_size=4),
+        min_size=1, max_size=6))
+    def test_aggregate_equals_sum(self, values_per_core):
+        merged = CounterRegistry.merge(make_children(values_per_core))
+        for name in merged.aggregate_names():
+            expected = sum(v.get(name, 0) for v in values_per_core)
+            assert merged.get(name) == expected
+            assert merged.get(name) == sum(merged.per_core(name))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 1000)),
+                             max_size=20),
+                    min_size=4, max_size=4))
+    def test_interleaved_updates_conserve(self, update_streams):
+        """Fault-schedule-style interleaved bumps: per-core books and the
+        cluster book agree at every point in time."""
+        children = [CounterRegistry() for _ in range(4)]
+        handles = [child.counter("faults.injected") for child in children]
+        merged = CounterRegistry.merge(children)
+        injected = [0, 0, 0, 0]
+        for stream in update_streams:
+            for core, amount in stream:
+                handles[core].add(amount)
+                injected[core] += amount
+                assert merged.get("faults.injected") == sum(injected)
+        for core in range(4):
+            assert merged.get("core%d.faults.injected" % core) == injected[core]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.dictionaries(st.sampled_from(["a.x", "b.y", "c"]),
+                        st.integers(0, 10**6), max_size=3),
+        min_size=1, max_size=5),
+        st.text(alphabet="abcxy.", max_size=8))
+    def test_snapshot_consistent_with_get(self, values_per_core, _noise):
+        merged = CounterRegistry.merge(make_children(values_per_core))
+        snap = merged.snapshot()
+        for name, value in snap.items():
+            assert merged.get(name) == value
