@@ -12,12 +12,17 @@ verifies every tier produces byte-identical payloads, and adds a hot-path
 microbenchmark timing the compiled op-tuple loop against the generated
 kernels over fig01's element programs.
 
-Shard mode (``--shards``, ``BENCH_PR8.json``): builds and measures the
+Shard mode (``--shards``, ``BENCH_PR9.json``): builds and measures the
 NAT on the sharded runtime at 1/2/4 cores, verifies the 1-core sharded
 point is bit-identical to the unsharded path, and records wall-clock,
 throughput, and scaling efficiency per core count.  These are simulated
 cores stepped in lockstep inside one process, so the numbers capture
 model cost, not host parallelism -- ``cpus`` records the capture host.
+The mode also drives the adaptive-steering comparison at zipf-1.6 on 4
+cores (static RSS vs RETA-only rebalancing vs RETA+dispatch) and records
+each variant's final arrival imbalance, hot-queue drops, migration
+counts, and the fraction of the static-vs-uniform throughput gap it
+recovered.
 
 Usage::
 
@@ -286,6 +291,51 @@ def run_shards(args) -> int:
         print("%d core(s): %6.2fs wall  %7.2f Gbps  bound by %s"
               % (n_cores, wall, point.gbps, point.bound_by))
 
+    # Adaptive steering at heavy skew: static vs RETA-only vs dispatch,
+    # same grid cell as the rss_imbalance experiment's headline claim.
+    from repro.experiments import rss_imbalance as ri
+    from repro.net.rss import RssConfig
+
+    if args.smoke:
+        n_packets, backlog_cap = ri.SMOKE_PACKETS, ri.SMOKE_BACKLOG_CAP
+    else:
+        n_packets = max(40_000, scale.trace_packets() * ri.N_CORES)
+        backlog_cap = RssConfig().backlog_cap
+
+    def steering_point(variant, skew):
+        _reset_caches()
+        start = time.perf_counter()
+        point = ri._measure("stationary", variant, skew,
+                            n_packets, backlog_cap, None)
+        return point, time.perf_counter() - start
+
+    uniform, _ = steering_point("static", None)
+    steering = {"skew": ri.HEAVY_SKEW, "n_packets": n_packets,
+                "uniform_gbps": round(uniform.gbps, 3), "variants": {}}
+    static_gbps = None
+    for variant in ri.VARIANTS:
+        point, wall = steering_point(variant, ri.HEAVY_SKEW)
+        if variant == "static":
+            static_gbps = point.gbps
+        gap = uniform.gbps - static_gbps
+        steering["variants"][variant] = {
+            "wall_s": round(wall, 3),
+            "gbps": round(point.gbps, 3),
+            "arrival_imbalance": round(point.imbalance, 4),
+            "rss_dropped": point.rss_dropped,
+            "reta_moves": point.reta_moves,
+            "migration_drains": point.migration_drains,
+            "dispatched": point.dispatched,
+            "gap_recovered": (
+                round((point.gbps - static_gbps) / gap, 3) if gap > 0
+                else None),
+        }
+        print("steering %-8s %7.2f Gbps  imbalance %.2f  drops %6d  "
+              "moves %3d  dispatched %6d"
+              % (variant, point.gbps, point.imbalance, point.rss_dropped,
+                 point.reta_moves, point.dispatched))
+    report["steering"] = steering
+
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print("-> %s" % args.output)
     if not identical:
@@ -304,14 +354,15 @@ def main(argv=None) -> int:
                              "tier + hot-path microbench)")
     parser.add_argument("--shards", action="store_true",
                         help="benchmark the sharded runtime at 1/2/4 cores "
-                             "(plus the 1-core identity gate)")
+                             "(1-core identity gate + adaptive-steering "
+                             "comparison at zipf-1.6)")
     parser.add_argument("--output", default=None,
                         help="where to write the report (default: "
                              "BENCH_PR4.json / BENCH_PR7.json / "
-                             "BENCH_PR8.json)")
+                             "BENCH_PR9.json)")
     args = parser.parse_args(argv)
     if args.output is None:
-        args.output = ("BENCH_PR8.json" if args.shards
+        args.output = ("BENCH_PR9.json" if args.shards
                        else "BENCH_PR7.json" if args.tiers
                        else "BENCH_PR4.json")
     if args.shards:

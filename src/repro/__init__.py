@@ -32,6 +32,7 @@ __all__ = [
     "FaultSpec",
     "ShardedRuntime",
     "RssConfig",
+    "SteeringPolicy",
     "ControlSocket",
     "MergedRegistry",
     "CounterRegistry",
@@ -53,6 +54,7 @@ _LAZY = {
     "FaultSpec": ("repro.faults.schedule", "FaultSpec"),
     "ShardedRuntime": ("repro.core.sharded", "ShardedRuntime"),
     "RssConfig": ("repro.net.rss", "RssConfig"),
+    "SteeringPolicy": ("repro.net.steering", "SteeringPolicy"),
     "ControlSocket": ("repro.control", "ControlSocket"),
     "MergedRegistry": ("repro.telemetry.registry", "MergedRegistry"),
     "CounterRegistry": ("repro.telemetry.registry", "CounterRegistry"),

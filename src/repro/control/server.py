@@ -19,8 +19,19 @@ Two dialects on one port:
   ``CORES``            ``<n>`` (replica count; 1 for a plain registry)
   ``NAMES [glob]``     one counter name per line, then ``.``
   ``METRICS``          Prometheus text exposition, terminated by ``# EOF``
+  ``RETA [port]``      the port's live indirection table, space-separated
+  ``REBALANCE [port]`` force one steering pass; replies ``moves <n>``
   ``QUIT``             closes the connection
   ==================  ========================================================
+
+  ``RETA`` and ``REBALANCE`` need the socket constructed with
+  ``runtime=`` (a :class:`~repro.core.sharded.ShardedRuntime`);
+  ``REBALANCE`` additionally needs a steering policy on the runtime's
+  :class:`~repro.net.rss.RssConfig`.  A forced rebalance runs on the
+  control thread while the simulation steps on its own -- RETA entries
+  swap one ``list[int]`` assignment at a time under the GIL, so the
+  data path always reads a consistent entry, exactly like hardware
+  applying a RETA update between two arriving frames.
 
 - **HTTP** (Prometheus scrapes): a request line starting with
   ``GET /metrics`` gets a one-shot ``HTTP/1.0 200`` response carrying the
@@ -48,11 +59,14 @@ class ControlSocket:
     """Serve one registry to many concurrent TCP clients."""
 
     def __init__(self, registry: CounterRegistry, host: str = "127.0.0.1",
-                 port: int = 0, namespace: str = "repro"):
+                 port: int = 0, namespace: str = "repro", runtime=None):
         self.registry = registry
         self.host = host
         self.port = port
         self.namespace = namespace
+        #: Optional ShardedRuntime behind the registry; enables the
+        #: steering verbs (RETA reads, forced REBALANCE).
+        self.runtime = runtime
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -177,7 +191,33 @@ class ControlSocket:
             return ("".join(n + "\n" for n in names) + ".\n").encode()
         if verb == "METRICS":
             return self._metrics().encode()
+        if verb in ("RETA", "REBALANCE"):
+            return self._steering_verb(verb, arg)
         return ("ERR unknown verb %s\n" % verb).encode()
+
+    def _steering_verb(self, verb: str, arg: str) -> bytes:
+        if self.runtime is None:
+            return b"ERR no runtime attached\n"
+        port: Optional[int] = None
+        if arg:
+            try:
+                port = int(arg)
+            except ValueError:
+                return ("ERR bad port %r\n" % arg).encode()
+        if verb == "RETA":
+            if port is None:
+                port = min(self.runtime.ports)
+            mq = self.runtime.ports.get(port)
+            if mq is None:
+                return ("ERR unknown port %d\n" % port).encode()
+            return (" ".join(str(q) for q in mq.table.entries) + "\n").encode()
+        if port is not None and port not in self.runtime.ports:
+            return ("ERR unknown port %d\n" % port).encode()
+        try:
+            moves = self.runtime.rebalance(port)
+        except RuntimeError as exc:
+            return ("ERR %s\n" % exc).encode()
+        return ("moves %d\n" % moves).encode()
 
     async def _serve_http(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter, request: str) -> None:
@@ -241,6 +281,21 @@ class ControlClient:
             if not line:
                 raise ConnectionError("control socket closed")
             out.append(line)
+
+    def reta(self, port: Optional[int] = None) -> list:
+        """The live indirection table of ``port`` (lowest port when None)."""
+        reply = self._request("RETA" if port is None else "RETA %d" % port)
+        if reply.startswith("ERR"):
+            raise KeyError(reply)
+        return [int(entry) for entry in reply.split()]
+
+    def rebalance(self, port: Optional[int] = None) -> int:
+        """Force a steering pass; returns RETA entries migrated."""
+        reply = self._request(
+            "REBALANCE" if port is None else "REBALANCE %d" % port)
+        if reply.startswith("ERR"):
+            raise RuntimeError(reply)
+        return int(reply.rsplit(" ", 1)[1])
 
     def metrics(self) -> str:
         self._file.write(b"METRICS\n")

@@ -36,11 +36,25 @@ from typing import Dict, List, Optional
 from repro.core.binary import MeasuredRun, SpecializedBinary
 from repro.dpdk.nic import MultiQueueNic
 from repro.net.rss import RssConfig
+from repro.net.steering import ShardSteering
 from repro.telemetry.registry import CounterRegistry, MergedRegistry
 
 
 class ShardedRuntime:
-    """N per-core replicas behind one RSS-sharded physical port set."""
+    """N per-core replicas behind one RSS-sharded physical port set.
+
+    When the :class:`~repro.net.rss.RssConfig` carries a
+    :class:`~repro.net.steering.SteeringPolicy`, the runtime also owns
+    the adaptive-steering control loop: every ``policy.interval``
+    lockstep rounds each port's :class:`~repro.net.steering.RetaRebalancer`
+    reads queue occupancy and bucket arrival windows and -- when the
+    migration cost model approves -- retargets hot indirection-table
+    entries onto underloaded queues.  ``steering.*`` counters are
+    mounted in the merged registry, and :meth:`rebalance` is the
+    operator's forced pass (the control plane's ``REBALANCE`` verb).
+    Without a policy nothing is created and the data path is
+    bit-identical to static RSS.
+    """
 
     def __init__(self, replicas: List[SpecializedBinary],
                  ports: Dict[int, MultiQueueNic],
@@ -50,11 +64,18 @@ class ShardedRuntime:
         self.replicas = replicas
         self.ports = ports
         self.config = config or RssConfig()
+        self.rounds = 0
+        self.steering: Optional[ShardSteering] = (
+            ShardSteering(ports, self.config.steering)
+            if self.config.steering is not None else None
+        )
         self.registry: MergedRegistry = CounterRegistry.merge(
             [b.telemetry.registry for b in replicas]
         )
         for port, mq in sorted(ports.items()):
             self.registry.mount("rss.%d" % port, mq.registry)
+        if self.steering is not None:
+            self.registry.mount("steering", self.steering.registry)
 
     # -- shape -----------------------------------------------------------------
 
@@ -79,6 +100,9 @@ class ShardedRuntime:
             if driver.at_eof():
                 continue
             received += driver.step()
+        self.rounds += 1
+        if self.steering is not None:
+            self.steering.on_round(self.rounds)
         return received
 
     def run_batches(self, n_batches: int) -> int:
@@ -92,6 +116,7 @@ class ShardedRuntime:
         Returns the number of rounds actually executed.
         """
         drivers = self.drivers
+        steering = self.steering
         finished = set()
         rounds = 0
         for _ in range(n_batches):
@@ -105,6 +130,9 @@ class ShardedRuntime:
                     driver.quiesce()
                     finished.add(index)
             rounds += 1
+            self.rounds += 1
+            if steering is not None:
+                steering.on_round(self.rounds)
         for driver in drivers:
             # Epilogue only (0 iterations): attribution/sampler sync and
             # the NIC-counter mirror into RunStats.
@@ -153,6 +181,23 @@ class ShardedRuntime:
         staged = sum(sum(mq.backlog_depths()) for mq in self.ports.values())
         return staged + sum(d.in_flight_packets() for d in self.drivers)
 
+    # -- steering --------------------------------------------------------------
+
+    def rebalance(self, port: Optional[int] = None) -> int:
+        """Force one steering pass now (all ports, or just ``port``).
+
+        The operator path behind the control plane's ``REBALANCE`` verb:
+        bypasses the trigger/hysteresis/cooldown/cost gates but still
+        only applies strictly-improving moves.  Returns the number of
+        RETA entries migrated.  Raises when no steering policy is
+        configured -- a forced rebalance on a static table would be a
+        silent no-op the operator should hear about.
+        """
+        if self.steering is None:
+            raise RuntimeError(
+                "no steering policy configured (RssConfig(steering=...))")
+        return self.steering.rebalance(self.rounds, port)
+
     # -- observation -----------------------------------------------------------
 
     def merged_snapshot(self, pattern: Optional[str] = None):
@@ -177,6 +222,16 @@ class ShardedRuntime:
                 "  port %d: %d queues, table=%d, ingested=%d, backlogs=%s"
                 % (port, mq.n_queues, len(mq.table.entries), mq.ingested,
                    mq.backlog_depths()))
+            if self.steering is not None:
+                scope = "port%d." % port
+                reg = self.steering.registry
+                lines.append(
+                    "    steering: moves=%d rebalances=%d dispatched=%d "
+                    "imbalance=%.2f"
+                    % (reg.get(scope + "moves"),
+                       reg.get(scope + "rebalances"),
+                       mq.registry.get("dispatched"),
+                       reg.get(scope + "imbalance")))
         for index, binary in enumerate(self.replicas):
             stats = binary.driver.stats
             lines.append(

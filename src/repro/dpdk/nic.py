@@ -322,6 +322,22 @@ class MultiQueueNic:
     frame and counts it -- ``imissed`` on the owning queue's xstats plus
     ``q<N>.dropped`` in the port's RSS ledger -- so conservation audits
     can close the books: ``ingested == sum(steered) + sum(dropped)``.
+
+    Adaptive steering hooks (driven by :mod:`repro.net.steering`):
+
+    - ``q<N>.occupancy`` gauges in the RSS ledger track each staging
+      backlog live, so the control plane can watch imbalance build;
+    - :meth:`enable_bucket_stats` adds per-RETA-entry accounting
+      (``bucket<i>`` counters; their sum always equals ``ingested``);
+    - :meth:`retarget_bucket` rewrites one RETA entry mid-run and
+      reports how many frames of that bucket were staged on the old
+      queue (they drain there -- exactly what hardware does on a RETA
+      update -- which is the reordering exposure the cost model prices);
+    - :meth:`enable_dispatch` sprays one saturating bucket's frames
+      round-robin across every queue (RSS++-style software dispatch).
+
+    None of these change a single counter until a steering policy turns
+    them on: the default path stays bit-identical to static RSS.
     """
 
     def __init__(self, trace, n_queues: int, config: Optional[RssConfig] = None,
@@ -350,6 +366,19 @@ class MultiQueueNic:
                          for q in range(n_queues)]
         self._dropped = [self.registry.counter("q%d.dropped" % q)
                          for q in range(n_queues)]
+        # Live staging-backlog depth per queue (rss.<port>.q<i>.occupancy
+        # in the merged registry) -- the signal the steering loop and the
+        # control plane watch while imbalance builds.
+        self._occupancy = [self.registry.gauge("q%d.occupancy" % q)
+                           for q in range(n_queues)]
+        # Adaptive-steering state: inert (and costing nothing) until a
+        # SteeringPolicy enables it.
+        self._bucket_handles: Optional[List] = None
+        self._reta_moves = None
+        self._migration_drains = None
+        self._dispatched = None
+        #: RETA bucket -> round-robin cursor for software-dispatch mode.
+        self.dispatch_buckets: Dict[int, int] = {}
 
     def queue_trace(self, queue_id: int) -> QueueTrace:
         if not 0 <= queue_id < self.n_queues:
@@ -361,19 +390,36 @@ class MultiQueueNic:
         self.queues[queue_id] = nic
 
     def steer(self, pkt: Packet) -> int:
-        """RSS: hash the frame's 5-tuple, index the indirection table."""
+        """RSS: hash the frame's 5-tuple, index the indirection table.
+
+        With bucket stats enabled the frame is also charged to its RETA
+        bucket; a bucket in software-dispatch mode overrides the table
+        and sprays round-robin across every queue.
+        """
         h = pkt.rss_hash
         if not h:
             tup = parse_flow(memoryview(pkt.buffer)[pkt.headroom:])
             h = toeplitz_v4(*tup, key=self.config.key) if tup else 0
             pkt.rss_hash = h
-        return self.table.queue_for(h)
+        entries = self.table.entries
+        bucket = h % len(entries)
+        if self._bucket_handles is not None:
+            self._bucket_handles[bucket].value += 1
+        if self.dispatch_buckets:
+            cursor = self.dispatch_buckets.get(bucket)
+            if cursor is not None:
+                self.dispatch_buckets[bucket] = cursor + 1
+                self._dispatched.value += 1
+                return cursor % self.n_queues
+        return entries[bucket]
 
     def pull(self, queue_id: int) -> Optional[Packet]:
         """One frame for ``queue_id``, ingesting shared arrivals as needed."""
         backlog = self.backlogs[queue_id]
         if backlog:
-            return backlog.popleft()
+            pkt = backlog.popleft()
+            self._occupancy[queue_id].value = len(backlog)
+            return pkt
         if self.exhausted:
             raise StopIteration("port trace exhausted")
         trace = self.trace
@@ -396,13 +442,94 @@ class MultiQueueNic:
                 continue
             dest.append(pkt)
             self._steered[q].value += 1
+            self._occupancy[q].value = len(dest)
             if q == queue_id:
-                return backlog.popleft()
+                pkt = backlog.popleft()
+                self._occupancy[queue_id].value = len(backlog)
+                return pkt
         if backlog:
-            return backlog.popleft()
+            pkt = backlog.popleft()
+            self._occupancy[queue_id].value = len(backlog)
+            return pkt
         if self.exhausted:
             raise StopIteration("port trace exhausted")
         return None
+
+    # -- adaptive steering -----------------------------------------------------
+
+    def enable_bucket_stats(self) -> None:
+        """Start per-RETA-entry accounting (``bucket<i>`` counters).
+
+        Idempotent.  Also creates the migration counters the rebalancer
+        charges (``reta_moves``, ``migration_drains``, ``dispatched``),
+        so none of these names exist -- and nothing is counted -- until
+        a steering policy is attached.
+        """
+        if self._bucket_handles is not None:
+            return
+        self._bucket_handles = [
+            self.registry.counter("bucket%d" % i)
+            for i in range(len(self.table.entries))
+        ]
+        self._reta_moves = self.registry.counter("reta_moves")
+        self._migration_drains = self.registry.counter("migration_drains")
+        self._dispatched = self.registry.counter("dispatched")
+
+    @property
+    def bucket_stats_enabled(self) -> bool:
+        return self._bucket_handles is not None
+
+    def bucket_counts(self) -> Optional[List[int]]:
+        """Lifetime packets per RETA bucket (``None`` until enabled)."""
+        if self._bucket_handles is None:
+            return None
+        return [handle.value for handle in self._bucket_handles]
+
+    def staged_in_bucket(self, index: int) -> int:
+        """Frames of RETA bucket ``index`` staged on its current queue."""
+        size = len(self.table.entries)
+        index %= size
+        queue = self.table.entries[index]
+        return sum(1 for pkt in self.backlogs[queue]
+                   if pkt.rss_hash % size == index)
+
+    def retarget_bucket(self, index: int, queue: int) -> int:
+        """Move one RETA entry to ``queue`` mid-run.
+
+        Frames of the bucket already staged on the old queue stay there
+        and drain in order -- exactly what hardware does on a RETA
+        update (the conservation books keep closing because ``steered``
+        was charged at append time).  Returns how many such frames were
+        in flight: the migration's reordering exposure, counted in
+        ``migration_drains``.
+        """
+        size = len(self.table.entries)
+        index %= size
+        old = self.table.entries[index]
+        if old == queue:
+            return 0
+        staged = sum(1 for pkt in self.backlogs[old]
+                     if pkt.rss_hash % size == index)
+        self.table.retarget(index, queue)
+        if self._reta_moves is not None:
+            self._reta_moves.value += 1
+            self._migration_drains.value += staged
+        return staged
+
+    def enable_dispatch(self, bucket: int) -> None:
+        """Spray ``bucket``'s frames round-robin across every queue.
+
+        The RSS++-style escape hatch for an elephant flow whose bucket
+        alone saturates a core: packet-level dispatch trades that flow's
+        ordering guarantee for balance.  Dispatched frames are counted
+        in the port's ``dispatched`` ledger.
+        """
+        self.enable_bucket_stats()
+        self.dispatch_buckets.setdefault(bucket % len(self.table.entries), 0)
+
+    def retire_dispatch(self, bucket: int) -> None:
+        """Return ``bucket`` to ordinary indirection-table steering."""
+        self.dispatch_buckets.pop(bucket % len(self.table.entries), None)
 
     # -- accounting ----------------------------------------------------------
 

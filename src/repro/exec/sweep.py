@@ -62,6 +62,8 @@ class TraceKey:
     per_port: bool = True
     n_flows: Optional[int] = None
     skew: Optional[float] = None
+    shift_at: Optional[int] = None
+    shift_offset: Optional[int] = None
 
     def factory(self):
         kind, frame_len, seed = self.kind, self.frame_len, self.seed
@@ -70,10 +72,12 @@ class TraceKey:
 
             n_flows, skew = self.n_flows or 1_000_000, self.skew
             per_port = self.per_port
+            shift_at, shift_offset = self.shift_at, self.shift_offset
 
             def skewed(port, core):
                 kwargs = {"n_flows": n_flows, "zipf_s": skew,
-                          "seed": seed + port + 7 * core if per_port else seed}
+                          "seed": seed + port + 7 * core if per_port else seed,
+                          "shift_at": shift_at, "shift_offset": shift_offset}
                 if frame_len is not None:
                     kwargs["frame_len"] = frame_len
                 return SkewedTraceGenerator(**kwargs)

@@ -189,6 +189,14 @@ def sharded_audit(runtime) -> Dict[str, object]:
        ``rx_delivered == forwarded + dropped + rx_errors + in_flight``
        invariant.
 
+    With adaptive steering enabled a fourth book opens: every ingested
+    frame is charged to exactly one RETA bucket *before* any retarget or
+    dispatch decision, so ``sum(bucket<i>) == ingested`` must hold no
+    matter how many migrations rewrote the table mid-run.  The per-port
+    breakdown then also carries the migration ledger (``reta_moves``,
+    ``migration_drains``, ``dispatched``) so a failed audit names what
+    the control loop was doing when the books diverged.
+
     Returns the full breakdown with an ``errors`` list (empty when every
     book balances) and a global ``balance`` (0 when offered load equals
     forwarded + every counted loss + everything still in flight).
@@ -239,6 +247,22 @@ def sharded_audit(runtime) -> Dict[str, object]:
             "qos_refused": qos_refused,
             "backlog": backlog,
         }
+        buckets = mq.bucket_counts() if hasattr(mq, "bucket_counts") else None
+        if buckets is not None:
+            # Steering is live: the bucket books must close across every
+            # RETA migration and dispatch decision.
+            bucket_total = sum(buckets)
+            if bucket_total != ingested:
+                errors.append(
+                    "port %d: bucket accounting %d != ingested %d "
+                    "(a migration lost or double-charged frames)"
+                    % (port, bucket_total, ingested))
+            ports[port].update({
+                "bucket_total": bucket_total,
+                "reta_moves": mq.registry.get("reta_moves"),
+                "migration_drains": mq.registry.get("migration_drains"),
+                "dispatched": mq.registry.get("dispatched"),
+            })
         total_ingested += ingested
         total_rss_dropped += dropped
         total_backlog += backlog

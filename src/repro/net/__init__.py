@@ -3,6 +3,7 @@
 from repro.net.addresses import IPv4Address, MacAddress
 from repro.net.packet import Packet
 from repro.net.rss import IndirectionTable, RssConfig, toeplitz_v4
+from repro.net.steering import RetaRebalancer, ShardSteering, SteeringPolicy
 from repro.net.trace import (
     CampusTraceGenerator,
     FixedSizeTraceGenerator,
@@ -18,6 +19,9 @@ __all__ = [
     "Packet",
     "IndirectionTable",
     "RssConfig",
+    "RetaRebalancer",
+    "ShardSteering",
+    "SteeringPolicy",
     "toeplitz_v4",
     "CampusTraceGenerator",
     "FixedSizeTraceGenerator",

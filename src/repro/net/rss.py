@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
+
+from repro.net.steering import SteeringPolicy
 
 #: The 40-byte default secret key from the Microsoft RSS specification
 #: (the same default DPDK, mlx5, and ixgbe ship).  40 bytes covers the
@@ -156,6 +158,34 @@ class IndirectionTable:
             raise ValueError("queue %d out of range" % queue)
         self.entries[index % len(self.entries)] = queue
 
+    def retarget_batch(self, moves: Iterable[Tuple[int, int]]) -> int:
+        """Apply ``(index, queue)`` rewrites atomically.
+
+        Every move is validated before any entry changes, so a bad queue
+        id in the middle of a batch leaves the table untouched -- the
+        semantics of ``rte_eth_dev_rss_reta_update``, which takes the
+        whole table in one call.  Returns the number of entries written.
+        """
+        size = len(self.entries)
+        staged = [(index % size, queue) for index, queue in moves]
+        for _, queue in staged:
+            if not 0 <= queue < self.n_queues:
+                raise ValueError("queue %d out of range" % queue)
+        for index, queue in staged:
+            self.entries[index] = queue
+        return len(staged)
+
+    def buckets_for_queue(self, queue: int) -> List[int]:
+        """Indices of every entry currently steering to ``queue``."""
+        return [i for i, q in enumerate(self.entries) if q == queue]
+
+    def spread(self) -> List[int]:
+        """Per-queue entry counts (the table's static weight per queue)."""
+        counts = [0] * self.n_queues
+        for q in self.entries:
+            counts[q] += 1
+        return counts
+
     def histogram(self, hashes) -> List[int]:
         """Per-queue counts for an iterable of hashes (distribution tests)."""
         counts = [0] * self.n_queues
@@ -188,6 +218,12 @@ class RssConfig:
     the shared trace while hunting for a frame of its own (``None`` =
     auto: ``4 * burst * n_queues``, enough for moderate imbalance to keep
     every queue's bursts full).
+
+    ``steering`` attaches an adaptive-steering control loop
+    (:class:`~repro.net.steering.SteeringPolicy`): the sharded runtime
+    then rebalances the indirection table from live queue occupancy,
+    gated by the policy's migration cost model.  ``None`` (the default)
+    keeps the PR 8 static-RETA behaviour bit-for-bit.
     """
 
     key: bytes = MICROSOFT_RSS_KEY
@@ -195,6 +231,7 @@ class RssConfig:
     mempool: str = MEMPOOL_PARTITIONED
     backlog_cap: int = 4096
     ingest_budget: Optional[int] = None
+    steering: Optional[SteeringPolicy] = None
 
     def __post_init__(self):
         if len(self.key) < 16:
@@ -208,6 +245,9 @@ class RssConfig:
             raise ValueError("backlog_cap must be >= 1")
         if self.ingest_budget is not None and self.ingest_budget < 1:
             raise ValueError("ingest_budget must be >= 1 (or None)")
+        if self.steering is not None and not isinstance(self.steering,
+                                                        SteeringPolicy):
+            raise ValueError("steering must be a SteeringPolicy (or None)")
 
 
 # -- frame parsing ----------------------------------------------------------

@@ -352,11 +352,22 @@ class SkewedTraceGenerator:
     Speaks the plain trace protocol (``next_packet`` / ``packets`` /
     ``mean_frame_length`` / ``flows``), so it drops in anywhere a pooled
     generator does, including under :class:`FiniteTrace`.
+
+    ``shift_at`` makes the elephant set *non-stationary*: every
+    ``shift_at`` packets the rank->flow mapping rotates by
+    ``shift_offset`` (default ``n_flows // 2``), so a different set of
+    flows becomes hot while the popularity *distribution* is unchanged.
+    The rotation is a pure function of the emitted-packet index, so the
+    trace stays deterministic and pure in ``(seed, rank)`` -- the
+    workload that separates steering policies that merely converge once
+    from policies that keep adapting.
     """
 
     def __init__(self, n_flows: int = 1_000_000, zipf_s: Optional[float] = None,
                  frame_len: int = 256, seed: int = 7,
-                 src_subnet: str = "10.0.0.0", dst_subnet: str = "192.168.0.0"):
+                 src_subnet: str = "10.0.0.0", dst_subnet: str = "192.168.0.0",
+                 shift_at: Optional[int] = None,
+                 shift_offset: Optional[int] = None):
         if n_flows < 1:
             raise ValueError("flow count must be >= 1")
         if not MIN_FRAME <= frame_len <= MAX_FRAME:
@@ -364,10 +375,19 @@ class SkewedTraceGenerator:
                              % (frame_len, MIN_FRAME, MAX_FRAME))
         if zipf_s is not None and zipf_s <= 0:
             raise ValueError("zipf_s must be positive (or None for uniform)")
+        if shift_at is not None and shift_at < 1:
+            raise ValueError("shift_at must be >= 1 (or None for stationary)")
+        if shift_offset is not None and shift_at is None:
+            raise ValueError("shift_offset needs shift_at")
         self.n_flows = n_flows
         self.zipf_s = zipf_s
         self.frame_len = frame_len
         self.seed = seed
+        self.shift_at = shift_at
+        self.shift_offset = (
+            0 if shift_at is None
+            else (shift_offset if shift_offset is not None
+                  else max(1, n_flows // 2)))
         self._src_base = IPv4Address(src_subnet).value
         self._dst_base = IPv4Address(dst_subnet).value
         self._rng = random.Random(seed)
@@ -412,7 +432,15 @@ class SkewedTraceGenerator:
         return float(self.frame_len)
 
     def next_packet(self, timestamp: float = 0.0) -> Packet:
-        flow = self.flow_at(self._pick_rank())
+        rank = self._pick_rank()
+        if self.shift_at is not None:
+            # Rotate the hot set every shift_at packets: popularity rank
+            # is unchanged, which flows hold it is a pure function of
+            # the packet index.
+            rotations = self._seq // self.shift_at
+            if rotations:
+                rank = (rank + rotations * self.shift_offset) % self.n_flows
+        flow = self.flow_at(rank)
         pkt = Packet(build_frame(flow, self.frame_len), timestamp=timestamp)
         pkt.rss_hash = flow.rss_hash()
         pkt.set_anno_u32(ANNO_SEQUENCE, self._seq)

@@ -151,3 +151,84 @@ class TestControlSocket:
         server.start()
         server.stop()
         server.stop()  # no-op
+
+
+class TestSteeringVerbs:
+    """RETA reads and forced rebalances over the control socket."""
+
+    class FakeRuntime:
+        def __init__(self, fail=False):
+            from types import SimpleNamespace
+
+            table = SimpleNamespace(entries=[0, 1, 0, 1])
+            self.ports = {0: SimpleNamespace(table=table)}
+            self.fail = fail
+            self.calls = []
+
+        def rebalance(self, port=None):
+            if self.fail:
+                raise RuntimeError("no steering policy configured")
+            self.calls.append(port)
+            return 3
+
+    def test_reta_and_rebalance_round_trip(self):
+        runtime = self.FakeRuntime()
+        with ControlSocket(make_registry(), runtime=runtime) as (host, port):
+            with ControlClient(host, port) as client:
+                assert client.reta() == [0, 1, 0, 1]
+                assert client.reta(0) == [0, 1, 0, 1]
+                assert client.rebalance() == 3
+                assert client.rebalance(0) == 3
+        assert runtime.calls == [None, 0]
+
+    def test_errors_are_replies_not_crashes(self):
+        with ControlSocket(make_registry()) as (host, port):
+            with ControlClient(host, port) as client:
+                with pytest.raises(KeyError):
+                    client.reta()  # no runtime attached
+                with pytest.raises(RuntimeError):
+                    client.rebalance()
+        runtime = self.FakeRuntime()
+        with ControlSocket(make_registry(), runtime=runtime) as (host, port):
+            with ControlClient(host, port) as client:
+                with pytest.raises(KeyError):
+                    client.reta(9)  # unknown port
+                with pytest.raises(RuntimeError):
+                    client.rebalance(9)
+
+    def test_unconfigured_steering_is_an_error_reply(self):
+        runtime = self.FakeRuntime(fail=True)
+        with ControlSocket(make_registry(), runtime=runtime) as (host, port):
+            with ControlClient(host, port) as client:
+                with pytest.raises(RuntimeError) as err:
+                    client.rebalance()
+                assert "no steering policy" in str(err.value)
+
+    def test_live_runtime_end_to_end(self):
+        from repro.core.packetmill import PacketMill
+        from repro.net.rss import RssConfig
+        from repro.net.steering import SteeringPolicy
+        from repro.net.trace import FiniteTrace, SkewedTraceGenerator
+
+        def trace(port, core):
+            return FiniteTrace(
+                SkewedTraceGenerator(n_flows=500, zipf_s=1.6, seed=5), 4000)
+
+        config = """
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> CheckIPHeader -> DecIPTTL -> output;
+"""
+        runtime = PacketMill(
+            config, trace=trace, n_cores=2,
+            rss=RssConfig(steering=SteeringPolicy()),
+        ).build_sharded()
+        runtime.run_batches(32)
+        with ControlSocket(runtime.registry, runtime=runtime) as (host, port):
+            with ControlClient(host, port) as client:
+                entries = client.reta()
+                assert entries == runtime.ports[0].table.entries
+                assert all(q in (0, 1) for q in entries)
+                moved = client.rebalance()
+                assert moved >= 0
+                assert client.read("steering.port0.evals") >= 1

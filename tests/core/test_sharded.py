@@ -197,3 +197,94 @@ class TestMergedTelemetry:
         runtime = build_sharded(n_cores=2)
         text = runtime.describe()
         assert "core 0" in text and "core 1" in text and "port 0" in text
+
+
+class TestSteeringIntegration:
+    """The adaptive steering loop riding the sharded runtime."""
+
+    def _skewed(self, steering=None, n_packets=8000, backlog_cap=64,
+                n_cores=4):
+        from repro.net.steering import SteeringPolicy  # noqa: F401
+
+        return build_sharded(
+            n_cores=n_cores,
+            trace=finite_trace_factory(n_packets=n_packets, zipf_s=1.6,
+                                       n_flows=5000, seed=11),
+            rss=RssConfig(backlog_cap=backlog_cap, steering=steering))
+
+    def test_steering_run_conserves_and_migrates(self):
+        from repro.net.steering import SteeringPolicy
+
+        runtime = self._skewed(SteeringPolicy())
+        runtime.run_until_eof()
+        assert_sharded_conserved(runtime)
+        mq = runtime.ports[0]
+        assert sum(mq.bucket_counts()) == mq.ingested
+        assert runtime.registry.get("steering.port0.moves") > 0
+        assert runtime.registry.get("rss.0.reta_moves") == \
+            runtime.registry.get("steering.port0.moves")
+
+    def test_steering_relieves_the_hot_queue(self):
+        from repro.net.steering import SteeringPolicy
+
+        def arrivals(runtime):
+            mq = runtime.ports[0]
+            return [mq.steered(q) + mq.dropped(q)
+                    for q in range(runtime.n_cores)]
+
+        static = self._skewed(None)
+        static.run_until_eof()
+        steered = self._skewed(SteeringPolicy())
+        steered.run_until_eof()
+
+        def imbalance(arr):
+            return max(arr) / (sum(arr) / len(arr))
+
+        assert imbalance(arrivals(steered)) < imbalance(arrivals(static))
+        assert steered.ports[0].dropped() <= static.ports[0].dropped()
+
+    def test_disabled_steering_is_bit_identical_to_pr8(self):
+        baseline = self._skewed(None)
+        baseline.run_until_eof()
+        again = self._skewed(None)
+        again.run_until_eof()
+        assert baseline.merged_snapshot() == again.merged_snapshot()
+        # No steering names, no bucket accounting, no dispatch ledger.
+        names = list(baseline.registry.names())
+        assert not any(n.startswith("steering.") for n in names)
+        assert not any("bucket" in n for n in names)
+        assert baseline.ports[0].bucket_counts() is None
+        with pytest.raises(RuntimeError):
+            baseline.rebalance()
+
+    def test_single_core_steering_never_migrates(self):
+        from repro.net.steering import SteeringPolicy
+
+        runtime = self._skewed(SteeringPolicy(), n_cores=1)
+        runtime.run_until_eof()
+        assert_sharded_conserved(runtime)
+        assert runtime.registry.get("steering.port0.moves") == 0
+        assert runtime.ports[0].table.entries == \
+            [0] * len(runtime.ports[0].table.entries)
+
+    def test_forced_rebalance_updates_the_table(self):
+        from repro.net.steering import SteeringPolicy
+
+        # A huge trigger keeps the automatic loop idle, so any table
+        # change comes from the forced pass alone.
+        runtime = self._skewed(SteeringPolicy(trigger=1e9, settle=1.0))
+        runtime.run_batches(64)
+        before = list(runtime.ports[0].table.entries)
+        moved = runtime.rebalance()
+        after = runtime.ports[0].table.entries
+        assert moved == sum(1 for b, a in zip(before, after) if b != a)
+        runtime.run_until_eof()
+        assert_sharded_conserved(runtime)
+
+    def test_describe_mentions_steering(self):
+        from repro.net.steering import SteeringPolicy
+
+        runtime = self._skewed(SteeringPolicy())
+        runtime.run_batches(32)
+        assert "steering:" in runtime.describe()
+        assert "steering:" not in self._skewed(None).describe()

@@ -140,6 +140,84 @@ class TestIndirectionTable:
             IndirectionTable(8, size=4)
 
 
+#: (queue count, table size) pairs with size >= n_queues, as the table
+#: requires; sizes stay small so shrinking is fast.
+_tables = st.integers(1, 8).flatmap(
+    lambda n: st.tuples(st.just(n), st.integers(n, 64)))
+
+
+def _retargets(n_queues, size):
+    return st.lists(
+        st.tuples(st.integers(0, size - 1), st.integers(0, n_queues - 1)),
+        max_size=32)
+
+
+class TestRetargetProperties:
+    """Invariants of the RETA under arbitrary retarget sequences."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=_tables, data=st.data())
+    def test_retarget_preserves_size_and_queue_range(self, shape, data):
+        n_queues, size = shape
+        table = IndirectionTable(n_queues, size=size)
+        for index, queue in data.draw(_retargets(n_queues, size)):
+            table.retarget(index, queue)
+        assert len(table.entries) == size
+        assert all(0 <= q < n_queues for q in table.entries)
+        assert sum(table.spread()) == size
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=_tables, data=st.data(),
+           hashes=st.lists(st.integers(0, 2**32 - 1), max_size=64))
+    def test_histogram_sums_to_input_length(self, shape, data, hashes):
+        n_queues, size = shape
+        table = IndirectionTable(n_queues, size=size)
+        for index, queue in data.draw(_retargets(n_queues, size)):
+            table.retarget(index, queue)
+        counts = table.histogram(hashes)
+        assert sum(counts) == len(hashes)
+        assert len(counts) == n_queues
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=_tables, data=st.data(),
+           rss_hash=st.integers(0, 2**32 - 1))
+    def test_queue_for_consistent_after_retargets(self, shape, data,
+                                                  rss_hash):
+        n_queues, size = shape
+        table = IndirectionTable(n_queues, size=size)
+        for index, queue in data.draw(_retargets(n_queues, size)):
+            table.retarget(index, queue)
+        queue = table.queue_for(rss_hash)
+        # queue_for is the entry the hash indexes, is stable, and agrees
+        # with the ownership view (buckets_for_queue).
+        assert queue == table.entries[rss_hash % size]
+        assert queue == table.queue_for(rss_hash)
+        assert rss_hash % size in table.buckets_for_queue(queue)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=_tables, data=st.data())
+    def test_batch_equals_sequential_retargets(self, shape, data):
+        n_queues, size = shape
+        moves = data.draw(_retargets(n_queues, size))
+        batch = IndirectionTable(n_queues, size=size)
+        seq = IndirectionTable(n_queues, size=size)
+        assert batch.retarget_batch(moves) == len(moves)
+        for index, queue in moves:
+            seq.retarget(index, queue)
+        assert batch.entries == seq.entries
+
+    @settings(max_examples=40, deadline=None)
+    @given(shape=_tables, data=st.data())
+    def test_bad_batch_is_atomic(self, shape, data):
+        n_queues, size = shape
+        moves = data.draw(_retargets(n_queues, size))
+        table = IndirectionTable(n_queues, size=size)
+        before = list(table.entries)
+        with pytest.raises(ValueError):
+            table.retarget_batch(moves + [(0, n_queues)])
+        assert table.entries == before
+
+
 class TestRssConfig:
     def test_defaults_are_valid_and_hashable(self):
         config = RssConfig()

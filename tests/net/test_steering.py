@@ -1,0 +1,348 @@
+"""Tests for adaptive flow steering: policy, NIC hooks, the rebalancer."""
+
+import pytest
+
+from repro.dpdk.nic import MultiQueueNic
+from repro.net.rss import IndirectionTable, RssConfig
+from repro.net.steering import RetaRebalancer, ShardSteering, SteeringPolicy
+from repro.net.trace import FiniteTrace, SkewedTraceGenerator
+from repro.telemetry.registry import CounterRegistry
+
+
+def drain(mq):
+    """Pull every queue until the port trace is fully consumed."""
+    delivered = 0
+    live = set(range(mq.n_queues))
+    while live:
+        for q in list(live):
+            try:
+                pkt = mq.pull(q)
+            except StopIteration:
+                live.discard(q)
+                continue
+            if pkt is not None:
+                delivered += 1
+    return delivered
+
+
+def skewed_mq(n_packets=600, zipf_s=1.4, backlog_cap=8, n_queues=4, seed=7):
+    trace = FiniteTrace(
+        SkewedTraceGenerator(n_flows=200, zipf_s=zipf_s, seed=seed),
+        n_packets)
+    return MultiQueueNic(trace, n_queues,
+                         RssConfig(backlog_cap=backlog_cap))
+
+
+class TestSteeringPolicy:
+    def test_defaults_are_valid_and_hashable(self):
+        policy = SteeringPolicy()
+        assert hash(policy) == hash(SteeringPolicy())
+        assert not policy.dispatch
+
+    @pytest.mark.parametrize("kwargs", [
+        {"interval": 0},
+        {"trigger": 0.9},
+        {"settle": 0.99},
+        {"settle": 2.0},  # above trigger
+        {"hysteresis": 0},
+        {"cooldown": -1},
+        {"max_moves": 0},
+        {"move_cost": -1.0},
+        {"reorder_cost": -0.1},
+        {"min_window": 0},
+        {"occupancy_weight": -1.0},
+        {"dispatch_share": 0.0},
+        {"dispatch_share": 1.5},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SteeringPolicy(**kwargs)
+
+    def test_rss_config_carries_a_policy(self):
+        config = RssConfig(steering=SteeringPolicy(dispatch=True))
+        assert config.steering.dispatch
+        with pytest.raises(ValueError):
+            RssConfig(steering="not a policy")
+
+
+class TestNicSteeringHooks:
+    def test_occupancy_gauges_track_backlogs(self):
+        mq = skewed_mq(backlog_cap=64)
+        mq.pull(0)  # ingest a budget's worth of arrivals
+        for q in range(mq.n_queues):
+            assert mq.registry.get("q%d.occupancy" % q) == \
+                len(mq.backlogs[q])
+        drain(mq)
+        for q in range(mq.n_queues):
+            assert mq.registry.get("q%d.occupancy" % q) == 0
+
+    def test_bucket_stats_are_lazy(self):
+        mq = skewed_mq()
+        assert not mq.bucket_stats_enabled
+        assert mq.bucket_counts() is None
+        assert "bucket0" not in mq.registry
+        assert "dispatched" not in mq.registry
+        mq.enable_bucket_stats()
+        mq.enable_bucket_stats()  # idempotent
+        assert mq.bucket_stats_enabled
+        assert "bucket0" in mq.registry
+        assert "reta_moves" in mq.registry
+
+    def test_bucket_accounting_sums_to_ingested(self):
+        mq = skewed_mq(backlog_cap=4)  # tight cap: some frames drop
+        mq.enable_bucket_stats()
+        delivered = drain(mq)
+        counts = mq.bucket_counts()
+        assert sum(counts) == mq.ingested
+        assert delivered == mq.steered()
+        assert mq.steered() + mq.dropped() == mq.ingested
+        assert mq.dropped() > 0
+
+    def test_retarget_bucket_counts_staged_frames(self):
+        mq = skewed_mq(backlog_cap=512)
+        mq.enable_bucket_stats()
+        mq.pull(0)  # stage a budget's worth
+        size = len(mq.table.entries)
+        # Find a bucket with frames staged on its owning queue.
+        bucket = next(
+            b for b in range(size)
+            if any(p.rss_hash % size == b
+                   for p in mq.backlogs[mq.table.entries[b]]))
+        old = mq.table.entries[bucket]
+        expected = sum(1 for p in mq.backlogs[old]
+                       if p.rss_hash % size == bucket)
+        target = (old + 1) % mq.n_queues
+        assert mq.retarget_bucket(bucket, target) == expected
+        assert mq.table.entries[bucket] == target
+        assert mq.registry.get("reta_moves") == 1
+        assert mq.registry.get("migration_drains") == expected
+        # Retargeting to the current owner is a free no-op.
+        assert mq.retarget_bucket(bucket, target) == 0
+        assert mq.registry.get("reta_moves") == 1
+
+    def test_conservation_closes_across_migrations(self):
+        mq = skewed_mq(n_packets=900, backlog_cap=16)
+        mq.enable_bucket_stats()
+        # Interleave pulls with RETA rewrites of the hottest bucket.
+        moved = 0
+        live = set(range(mq.n_queues))
+        while live:
+            for q in list(live):
+                try:
+                    mq.pull(q)
+                except StopIteration:
+                    live.discard(q)
+            counts = mq.bucket_counts()
+            hot = max(range(len(counts)), key=counts.__getitem__)
+            moved += 1
+            mq.retarget_bucket(hot, moved % mq.n_queues)
+        assert sum(mq.bucket_counts()) == mq.ingested
+        assert mq.steered() + mq.dropped() == mq.ingested
+
+    def test_dispatch_sprays_round_robin(self):
+        mq = skewed_mq()
+        gen = SkewedTraceGenerator(n_flows=10, seed=3)
+        pkt = gen.next_packet()
+        mq.steer(pkt)  # computes and caches the hash
+        bucket = pkt.rss_hash % len(mq.table.entries)
+        mq.enable_dispatch(bucket)
+        queues = [mq.steer(pkt) for _ in range(2 * mq.n_queues)]
+        assert queues == list(range(mq.n_queues)) * 2
+        assert mq.registry.get("dispatched") == 2 * mq.n_queues
+        mq.retire_dispatch(bucket)
+        assert mq.steer(pkt) == mq.table.entries[bucket]
+        assert mq.registry.get("dispatched") == 2 * mq.n_queues
+
+
+class FakeMq:
+    """Duck-typed MultiQueueNic steering surface with scripted loads."""
+
+    def __init__(self, n_queues=4, size=8):
+        self.n_queues = n_queues
+        self.table = IndirectionTable(n_queues, size=size)
+        self.backlogs = [[] for _ in range(n_queues)]
+        self.counts = [0] * size
+        self.staged = {}
+        self.dispatch_buckets = {}
+        self.moves = []
+
+    def enable_bucket_stats(self):
+        pass
+
+    def bucket_counts(self):
+        return list(self.counts)
+
+    def staged_in_bucket(self, index):
+        return self.staged.get(index, 0)
+
+    def retarget_bucket(self, index, queue):
+        if self.table.entries[index] == queue:
+            return 0
+        self.table.retarget(index, queue)
+        self.moves.append((index, queue))
+        return self.staged.get(index, 0)
+
+    def enable_dispatch(self, bucket):
+        self.dispatch_buckets.setdefault(bucket, 0)
+
+    def retire_dispatch(self, bucket):
+        self.dispatch_buckets.pop(bucket, None)
+
+
+def rebalancer(mq, **kwargs):
+    defaults = dict(interval=1, min_window=1, hysteresis=1, cooldown=0,
+                    move_cost=0.0, reorder_cost=0.0, occupancy_weight=0.0)
+    defaults.update(kwargs)
+    policy = SteeringPolicy(**defaults)
+    return RetaRebalancer(mq, policy, CounterRegistry().scope("port0"))
+
+
+class TestRetaRebalancer:
+    def _load_hot_queue(self, mq, first=600, second=400):
+        # Buckets 0 and 4 both steer to queue 0 (round-robin init).
+        mq.counts[0] += first
+        mq.counts[4] += second
+
+    def test_small_window_is_skipped(self):
+        mq = FakeMq()
+        reb = rebalancer(mq, min_window=100)
+        mq.counts[0] += 10
+        assert reb.evaluate(1) == 0
+        assert mq.moves == []
+
+    def test_migrates_hot_bucket_to_cold_queue(self):
+        mq = FakeMq()
+        reb = rebalancer(mq)
+        self._load_hot_queue(mq)
+        assert reb.evaluate(1) == 1
+        # The hotter of queue 0's two buckets moved to an idle queue.
+        assert mq.moves == [(0, 1)]
+        assert mq.table.entries[0] == 1
+
+    def test_never_swaps_the_hot_spot(self):
+        # One bucket carries everything: moving it would only swap which
+        # queue is hottest, so the rebalancer must leave it alone.
+        mq = FakeMq()
+        reb = rebalancer(mq)
+        mq.counts[0] += 1000
+        assert reb.evaluate(1) == 0
+        assert mq.moves == []
+
+    def test_below_trigger_never_arms(self):
+        mq = FakeMq()
+        reb = rebalancer(mq)
+        for bucket in range(8):
+            mq.counts[bucket] += 100  # perfectly balanced
+        assert reb.evaluate(1) == 0
+        assert mq.moves == []
+
+    def test_hysteresis_requires_consecutive_triggers(self):
+        mq = FakeMq()
+        reb = rebalancer(mq, hysteresis=2)
+        self._load_hot_queue(mq)
+        assert reb.evaluate(1) == 0  # armed, streak 1
+        self._load_hot_queue(mq)
+        assert reb.evaluate(2) == 1  # streak 2: migrate
+        # A balanced window in between resets the streak.
+        mq2 = FakeMq()
+        reb2 = rebalancer(mq2, hysteresis=2)
+        self._load_hot_queue(mq2)
+        assert reb2.evaluate(1) == 0
+        for bucket in range(8):
+            mq2.counts[bucket] += 100
+        assert reb2.evaluate(2) == 0  # balanced: streak reset
+        self._load_hot_queue(mq2)
+        assert reb2.evaluate(3) == 0  # streak 1 again
+
+    def test_cooldown_blocks_back_to_back_batches(self):
+        mq = FakeMq()
+        reb = rebalancer(mq, cooldown=10)
+        self._load_hot_queue(mq)
+        assert reb.evaluate(1) == 1  # bucket 0 moved to queue 1
+        # Queue 1 (buckets 0 and 5) is now the hot queue each window.
+        mq.counts[0] += 600
+        mq.counts[5] += 400
+        assert reb.evaluate(2) == 0  # inside the cooldown
+        assert reb._skipped_cooldown.value == 1
+        mq.counts[0] += 600
+        mq.counts[5] += 400
+        assert reb.evaluate(11) == 1  # cooldown expired
+
+    def test_cost_gate_blocks_expensive_moves(self):
+        mq = FakeMq()
+        mq.staged[0] = 10_000  # deep reorder exposure on the hot bucket
+        mq.staged[4] = 10_000
+        reb = rebalancer(mq, reorder_cost=1.0)
+        self._load_hot_queue(mq)
+        assert reb.evaluate(1) == 0
+        assert reb._skipped_cost.value > 0
+        assert mq.moves == []
+
+    def test_force_bypasses_every_gate(self):
+        mq = FakeMq()
+        mq.staged[0] = 10_000
+        mq.staged[4] = 10_000
+        reb = rebalancer(mq, reorder_cost=1.0, hysteresis=5,
+                         min_window=10_000)
+        self._load_hot_queue(mq)
+        assert reb.evaluate(1, force=True) == 1
+        assert mq.moves == [(0, 1)]
+
+    def test_force_still_requires_improvement(self):
+        mq = FakeMq()
+        reb = rebalancer(mq)
+        for bucket in range(8):
+            mq.counts[bucket] += 100  # nothing to improve
+        assert reb.evaluate(1, force=True) == 0
+
+    def test_dispatch_enables_and_retires_with_hysteresis(self):
+        mq = FakeMq()
+        reb = rebalancer(mq, dispatch=True, dispatch_share=0.25)
+        mq.counts[0] += 600   # 60% share: dispatched
+        mq.counts[1] += 200   # 20%: below the enable share
+        mq.counts[2] += 200
+        reb.evaluate(1)
+        assert mq.dispatch_buckets.keys() == {0}
+        assert reb._dispatch_on.value == 1
+        # Share falls below half the enable threshold: retired.
+        mq.counts[0] += 10    # 1% of this window
+        mq.counts[1] += 495
+        mq.counts[2] += 495
+        reb.evaluate(2)
+        assert 0 not in mq.dispatch_buckets
+        assert reb._dispatch_off.value == 1
+
+    def test_dispatched_bucket_is_not_migrated(self):
+        mq = FakeMq()
+        reb = rebalancer(mq, dispatch=True, dispatch_share=0.25)
+        self._load_hot_queue(mq)  # bucket 0 at 60% share: dispatched
+        moved = reb.evaluate(1)
+        assert 0 in mq.dispatch_buckets
+        assert all(index != 0 for index, _ in mq.moves[:moved])
+
+
+class TestShardSteering:
+    def test_one_rebalancer_per_port_with_scoped_counters(self):
+        ports = {0: FakeMq(), 1: FakeMq()}
+        steering = ShardSteering(ports, SteeringPolicy())
+        assert set(steering.rebalancers) == {0, 1}
+        for port in ports:
+            assert "port%d.moves" % port in steering.registry
+            assert "port%d.evals" % port in steering.registry
+
+    def test_on_round_honors_the_interval(self):
+        mq = FakeMq()
+        steering = ShardSteering({0: mq}, SteeringPolicy(
+            interval=4, min_window=1, hysteresis=1, cooldown=0,
+            move_cost=0.0, occupancy_weight=0.0))
+        mq.counts[0] += 600
+        mq.counts[4] += 400
+        for round_no in (1, 2, 3):
+            assert steering.on_round(round_no) == 0
+        assert steering.on_round(4) == 1
+        assert steering.moves() == 1
+
+    def test_forced_rebalance_validates_the_port(self):
+        steering = ShardSteering({0: FakeMq()}, SteeringPolicy())
+        with pytest.raises(KeyError):
+            steering.rebalance(1, port=7)

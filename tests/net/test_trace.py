@@ -208,3 +208,62 @@ class TestSkewedTrace:
             self._gen(n_flows=0)
         with pytest.raises(ValueError):
             self._gen(zipf_s=-1.0)
+
+
+class TestElephantShift:
+    """Mid-run elephant-set rotation (shift_at / shift_offset)."""
+
+    def _gen(self, **kwargs):
+        from repro.net.trace import SkewedTraceGenerator
+
+        defaults = dict(n_flows=1000, zipf_s=1.6, seed=9)
+        defaults.update(kwargs)
+        return SkewedTraceGenerator(**defaults)
+
+    def test_stationary_by_default(self):
+        gen = self._gen()
+        assert gen.shift_at is None
+        assert gen.shift_offset == 0
+
+    def test_shift_rotates_the_hot_set(self):
+        from collections import Counter
+
+        gen = self._gen(shift_at=2000)
+        before = Counter(gen.next_packet().rss_hash for _ in range(2000))
+        after = Counter(gen.next_packet().rss_hash for _ in range(2000))
+        top_before = before.most_common(1)[0][0]
+        top_after = after.most_common(1)[0][0]
+        # The elephant changes identity but not weight.
+        assert top_before != top_after
+        assert after[top_after] > 2000 * 0.25
+
+    def test_shifted_stream_is_deterministic(self):
+        a = self._gen(shift_at=500)
+        b = self._gen(shift_at=500)
+        for _ in range(1500):
+            assert a.next_packet().rss_hash == b.next_packet().rss_hash
+
+    def test_prefix_matches_stationary_stream(self):
+        shifted = self._gen(shift_at=300)
+        stationary = self._gen()
+        for _ in range(300):
+            assert shifted.next_packet().rss_hash == \
+                stationary.next_packet().rss_hash
+        # The first rotation diverges the streams.
+        diverged = any(
+            shifted.next_packet().rss_hash != stationary.next_packet().rss_hash
+            for _ in range(300))
+        assert diverged
+
+    def test_default_offset_is_half_the_population(self):
+        gen = self._gen(n_flows=1000, shift_at=100)
+        assert gen.shift_offset == 500
+        assert self._gen(shift_at=100, shift_offset=7).shift_offset == 7
+
+    def test_rejects_bad_shift_args(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._gen(shift_at=0)
+        with pytest.raises(ValueError):
+            self._gen(shift_offset=5)
