@@ -9,10 +9,17 @@ Three cooperating checkers over the same IR the cost model executes:
   per-field def/use propagation along the processing graph
   (use-before-init, dead stores, dead fields), cross-checked against the
   reordering pass's layout decision;
-- the **lints** (:mod:`repro.analyze.lints`, :mod:`repro.analyze.purity`):
+- the **constant propagation pass** (:mod:`repro.analyze.constprop`):
+  path-sensitive abstract values per output port, propagated
+  inter-element (``constant-branch``, ``redundant-check``); its dead
+  edges sharpen the dataflow and its proven facts feed the codegen
+  tier's dead-code elimination;
+- the **lints** (:mod:`repro.analyze.lints`, :mod:`repro.analyze.purity`,
+  :mod:`repro.analyze.sharding`):
   graph structure (unreachable elements, unconnected inputs, dangling
-  outputs, shadowed classifier rules) and ``pure_process`` soundness for
-  the driver's packet-class fast path.
+  outputs, shadowed classifier rules), ``pure_process`` soundness for
+  the driver's packet-class fast path, and sharding safety of stateful
+  elements under multicore replication and steering.
 
 :func:`analyze_config` runs everything over one configuration; the CLI
 (``python -m repro.analyze``) wraps it; the build hook
@@ -20,6 +27,13 @@ Three cooperating checkers over the same IR the cost model executes:
 """
 
 from repro.analyze.api import analyze_config, analyze_graph
+from repro.analyze.constprop import (
+    ConstProp,
+    Facts,
+    compute_program_facts,
+    join_facts,
+    match_predicate,
+)
 from repro.analyze.dataflow import MetadataDataflow, crosscheck_reorder
 from repro.analyze.findings import (
     ERROR,
@@ -39,6 +53,11 @@ from repro.analyze.purity import (
     check_purity,
 )
 from repro.analyze.qos import lint_qos, lint_qos_config
+from repro.analyze.sharding import (
+    classify_element_state,
+    lint_sharding,
+    sharding_stats,
+)
 from repro.analyze.verifier import (
     VerifierError,
     assert_verified,
@@ -55,6 +74,8 @@ __all__ = [
     "SEVERITIES",
     "AnalysisError",
     "AnalysisReport",
+    "ConstProp",
+    "Facts",
     "Finding",
     "GRAPH_LINTS",
     "MetadataDataflow",
@@ -67,11 +88,17 @@ __all__ = [
     "attach_verifier",
     "check_graph_purity",
     "check_purity",
+    "classify_element_state",
+    "compute_program_facts",
     "crosscheck_reorder",
+    "join_facts",
     "lint_graph",
     "lint_qos",
     "lint_qos_config",
+    "lint_sharding",
+    "match_predicate",
     "severity_rank",
+    "sharding_stats",
     "verify_exec_program",
     "verify_pool_pair",
     "verify_program",

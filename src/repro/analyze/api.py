@@ -13,17 +13,24 @@ pipeline stage by stage without executing a packet:
 5. metadata reordering cross-check, when the options request the pass;
 6. lowering + verification of every lowered program;
 7. PMD RX/TX program verification and pool-balance pairing;
-8. the X-Change metadata dataflow analysis (use-before-init, dead
-   stores, dead fields) under the options' metadata model.
+8. path-sensitive constant propagation per output port
+   (``constant-branch``, ``redundant-check``);
+9. the X-Change metadata dataflow analysis (use-before-init, dead
+   stores, dead fields) under the options' metadata model, with the
+   constprop dead edges excluded from the successor relation;
+10. the sharding-safety lints, when a :class:`~repro.core.profile.RunProfile`
+    says how the config will be replicated (``n_cores``, RSS steering).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.analyze.constprop import ConstProp
 from repro.analyze.dataflow import MetadataDataflow, crosscheck_reorder
 from repro.analyze.findings import ERROR, NOTE, AnalysisReport, Finding
 from repro.analyze.lints import lint_graph
+from repro.analyze.sharding import lint_sharding, sharding_stats
 from repro.analyze.purity import check_graph_purity
 from repro.analyze.verifier import (
     attach_verifier,
@@ -41,6 +48,7 @@ def analyze_config(
     registry=None,
     subject: str = "<config>",
     qos=None,
+    profile=None,
 ) -> AnalysisReport:
     """Statically analyze one configuration; never raises on bad input.
 
@@ -50,7 +58,10 @@ def analyze_config(
     finding counts under ``analyze.*``; ``qos`` is the
     :class:`~repro.qos.config.QosConfig` the configuration will run
     under, enabling the QoS buffer-profile lints (a config containing
-    QoS elements but analyzed without one is itself a finding).
+    QoS elements but analyzed without one is itself a finding);
+    ``profile`` is the :class:`~repro.core.profile.RunProfile` the config
+    will run under -- its ``n_cores``/``rss`` drive the sharding-safety
+    lints (analyzing a sharded deployment without it misses them).
     """
     from repro.click.element import ElementConfigError
     from repro.click.config.lexer import ConfigError
@@ -68,14 +79,14 @@ def analyze_config(
         if registry is not None:
             report.record(registry)
         return report
-    analyze_graph(graph, options, report, qos=qos)
+    analyze_graph(graph, options, report, qos=qos, profile=profile)
     if registry is not None:
         report.record(registry)
     return report
 
 
 def analyze_graph(graph, options, report: Optional[AnalysisReport] = None,
-                  qos=None) -> AnalysisReport:
+                  qos=None, profile=None) -> AnalysisReport:
     """Analyze an already-instantiated graph under the given options."""
     from repro.analyze.qos import lint_qos
     from repro.compiler.pipeline import PassManager
@@ -127,12 +138,27 @@ def analyze_graph(graph, options, report: Optional[AnalysisReport] = None,
         ))
     report.extend(verify_pool_pair(rx_program, tx_program))
 
-    # -- metadata dataflow ---------------------------------------------------------
+    # -- path-sensitive constant propagation ---------------------------------------
+    constprop = ConstProp(graph)
+    report.extend(constprop.findings())
+    report.metrics.update(constprop.stats)
+
+    # -- metadata dataflow (dead edges excluded) -----------------------------------
     dataflow = MetadataDataflow(
         graph, element_ir, rx_program, tx_program,
         mbuf_alias=getattr(model, "mbuf_alias", None),
+        constprop=constprop,
     )
     report.extend(dataflow.findings())
+
+    # -- sharding safety under the run profile ------------------------------------
+    report.metrics.update(sharding_stats(graph))
+    if profile is not None:
+        report.extend(lint_sharding(
+            graph,
+            n_cores=getattr(profile, "n_cores", 1),
+            rss=getattr(profile, "rss", None),
+        ))
 
     # -- the reordering pass's actual layout decision ------------------------------
     if options.reorder_metadata:

@@ -25,11 +25,48 @@ def shipped_configs() -> Dict[str, str]:
         "forwarder-two-nics": nfs.forwarder_two_nics(),
         "router": nfs.router(),
         "router-icmp": nfs.router(icmp_errors=True),
+        "guarded-router": nfs.guarded_router(),
         "ids-router": nfs.ids_router(),
         "nat-router": nfs.nat_router(),
         "workpackage": nfs.workpackage_forwarder(1.0, 2, 25),
         "qos-forwarder": nfs.qos_forwarder(pfc=False),
         "qos-forwarder-pfc": nfs.qos_forwarder(pfc=True),
+        # Multicore deployments of the same configs: the *text* is
+        # identical, what changes is the RunProfile they analyze under
+        # (see shipped_runtime_pairings) -- n_cores, RSS steering,
+        # dispatch spray.  This is what the sharding lints target.
+        "forwarder-sharded": nfs.forwarder(),
+        "nat-sharded": nfs.nat_router(),
+        "forwarder-steered": nfs.forwarder(),
+        "nat-steered": nfs.nat_router(),
+    }
+
+
+def shipped_runtime_pairings() -> Dict[str, object]:
+    """The RunProfile each shipped configuration is meant to run under.
+
+    Configurations absent from this map analyze single-core with no RSS
+    (profile ``None``); the sharded/steered entries carry the replica
+    count and steering policy the sharding-safety lints key on.
+    ``nat-steered`` deliberately runs steering *without* dispatch spray:
+    a stateful NAT under bucket migration warns, but only dispatch makes
+    it an error (``shard-stateful-dispatch``).
+    """
+    from repro.core.profile import RunProfile
+    from repro.net.rss import RssConfig
+    from repro.net.steering import SteeringPolicy
+
+    return {
+        "forwarder-sharded": RunProfile(n_cores=4),
+        "nat-sharded": RunProfile(n_cores=4),
+        "forwarder-steered": RunProfile(
+            n_cores=4,
+            rss=RssConfig(steering=SteeringPolicy(dispatch=True)),
+        ),
+        "nat-steered": RunProfile(
+            n_cores=4,
+            rss=RssConfig(steering=SteeringPolicy()),
+        ),
     }
 
 
@@ -90,6 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit one JSON report per config")
     parser.add_argument(
+        "--sarif", action="store_true",
+        help="emit one combined SARIF 2.1.0 log covering every analyzed "
+             "config (for CI annotation); suppresses text/JSON output")
+    parser.add_argument(
+        "--cores", type=int, default=None, metavar="N",
+        help="analyze as an N-replica sharded deployment (overrides the "
+             "shipped runtime pairing; enables the sharding lints)")
+    parser.add_argument(
+        "--steering", action="store_true",
+        help="with --cores: analyze under an adaptive-steering policy")
+    parser.add_argument(
+        "--dispatch", action="store_true",
+        help="with --steering: the policy sprays flows per-dispatch "
+             "(what shard-stateful-dispatch fires on)")
+    parser.add_argument(
         "--min-severity", default=NOTE, choices=SEVERITIES,
         help="lowest severity shown in text output (default: note)")
     parser.add_argument(
@@ -146,12 +198,24 @@ def main(argv: List[str] = None) -> int:
         qos_override = qos_catalog[args.qos]
     pairings = shipped_qos_pairings()
 
+    profile_override = None
+    if args.cores is not None or args.steering or args.dispatch:
+        profile_override = _profile_from_flags(
+            args.cores, args.steering, args.dispatch)
+    runtime_pairings = shipped_runtime_pairings()
+
     threshold = severity_rank(args.fail_on)
     failed = False
+    sarif_runs = []
     for index, (subject, text) in enumerate(targets):
         qos = qos_override if qos_override is not None else pairings.get(subject)
-        report = analyze_config(text, options, subject=subject, qos=qos)
-        if args.json:
+        profile = (profile_override if profile_override is not None
+                   else runtime_pairings.get(subject))
+        report = analyze_config(
+            text, options, subject=subject, qos=qos, profile=profile)
+        if args.sarif:
+            sarif_runs.append(report.to_sarif_run())
+        elif args.json:
             print(report.to_json())
         else:
             if index:
@@ -159,7 +223,25 @@ def main(argv: List[str] = None) -> int:
             print(report.to_text(min_severity=args.min_severity))
         if any(severity_rank(f.severity) >= threshold for f in report.findings):
             failed = True
+    if args.sarif:
+        import json
+
+        from repro.analyze.findings import sarif_log
+
+        print(json.dumps(sarif_log(sarif_runs), indent=2, sort_keys=True))
     return 1 if failed else 0
+
+
+def _profile_from_flags(cores, steering, dispatch):
+    """A RunProfile from the --cores/--steering/--dispatch overrides."""
+    from repro.core.profile import RunProfile
+    from repro.net.rss import RssConfig
+    from repro.net.steering import SteeringPolicy
+
+    rss = None
+    if steering or dispatch:
+        rss = RssConfig(steering=SteeringPolicy(dispatch=dispatch))
+    return RunProfile(n_cores=cores if cores is not None else 1, rss=rss)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,14 @@ The forward pass is a classic must-reach analysis (meet = intersection
 over predecessors), the dead-store pass a backward may-liveness analysis
 (meet = union over successors); both iterate to a fixpoint so Queue
 cycles converge.
+
+Both passes are **path-sensitive** when given a
+:class:`~repro.analyze.constprop.ConstProp` instance: edges the
+constant-propagation pass proves dead (a classifier arm that can never
+match under upstream facts) are excluded from the successor relation, so
+facts no longer leak across sibling ports through branches that cannot
+fire.  Elements reachable only over dead edges are skipped entirely, the
+same way graph-unreachable elements are.
 """
 
 from __future__ import annotations
@@ -72,12 +80,17 @@ class MetadataDataflow:
         tx_program: Program,
         struct: str = "Packet",
         mbuf_alias: Optional[Dict[str, str]] = None,
+        constprop=None,
     ):
         self.graph = graph
         self.programs = programs
         self.rx_program = rx_program
         self.tx_program = tx_program
         self.struct = struct
+        #: (element, port) edges constant propagation proved dead; the
+        #: successor relation excludes them, so sibling-port facts stop
+        #: leaking through branches that cannot fire.
+        self.dead_edges = set(constprop.dead_edges) if constprop else set()
         #: Fields the PMD conversion initializes on RX.  Under the
         #: Overlaying model the conversion's ``rte_mbuf`` stores are the
         #: app struct's fields (the overlay cast renames them), so the
@@ -104,9 +117,12 @@ class MetadataDataflow:
         return program
 
     def _successors(self, element) -> Iterable:
-        for target in element.targets:
-            if target is not None:
-                yield target[0]
+        for port, target in enumerate(element.targets):
+            if target is None:
+                continue
+            if (element.name, port) in self.dead_edges:
+                continue
+            yield target[0]
 
     # -- forward: which fields are definitely initialized ---------------------
 
@@ -177,6 +193,8 @@ class MetadataDataflow:
         """(element, field) pairs whose write no later read observes."""
         out = []
         for element in self._elements:
+            if element.name not in self._in_states:
+                continue  # graph- or fact-unreachable: nothing executes it
             live = set(self._live_out.get(element.name, set()))
             events = field_events(self._program_of(element), self.struct)
             dead: List[str] = []

@@ -34,6 +34,20 @@ def severity_rank(severity: str) -> int:
         ) from None
 
 
+#: SARIF version the reports emit; the schema URI CI annotators expect.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def sarif_log(runs: List[Dict]) -> Dict:
+    """Wrap SARIF ``run`` objects into a complete log document."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": list(runs),
+    }
+
+
 class AnalysisError(RuntimeError):
     """A check found error-severity problems and was asked to fail hard."""
 
@@ -84,6 +98,9 @@ class AnalysisReport:
     findings: List[Finding] = dataclass_field(default_factory=list)
     #: What was analyzed (config name, build label) -- cosmetic.
     subject: str = ""
+    #: Pass counters beyond findings (facts proven, dead ports, state
+    #: classes); mirrored into telemetry as ``analyze.<key>``.
+    metrics: Dict[str, float] = dataclass_field(default_factory=dict)
 
     def add(self, finding: Finding) -> None:
         self.findings.append(finding)
@@ -144,6 +161,8 @@ class AnalysisReport:
             registry.counter("analyze." + severity).add(count)
         for finding in self.findings:
             registry.counter("analyze.rule." + finding.rule).add(1)
+        for key in sorted(self.metrics):
+            registry.counter("analyze." + key).add(self.metrics[key])
 
     def raise_on_errors(self) -> None:
         errors = self.errors
@@ -179,10 +198,60 @@ class AnalysisReport:
                 "counts": self.counts(),
                 "ok": self.ok,
                 "findings": [f.to_dict() for f in self.findings],
+                "metrics": self.metrics,
             },
             indent=2,
             sort_keys=True,
         )
+
+    def to_sarif_run(self) -> Dict:
+        """This report as one SARIF ``run`` object (SARIF 2.1.0).
+
+        Severities map onto SARIF levels directly (note/warning/error);
+        the subject and location travel as a logical location plus a
+        property bag, since our findings point at graph elements rather
+        than files.
+        """
+        rules = sorted({f.rule for f in self.findings})
+        rule_index = {rule: i for i, rule in enumerate(rules)}
+        results = []
+        for finding in self.findings:
+            result = {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": finding.severity,
+                "message": {"text": finding.message},
+                "locations": [{
+                    "logicalLocations": [{
+                        "name": finding.subject,
+                        "fullyQualifiedName": "%s::%s" % (
+                            self.subject or "<config>", finding.subject),
+                    }],
+                }],
+                "properties": {"subject": finding.subject},
+            }
+            if finding.location:
+                result["properties"]["location"] = finding.location
+            results.append(result)
+        return {
+            "tool": {
+                "driver": {
+                    "name": "repro.analyze",
+                    "rules": [{"id": rule} for rule in rules],
+                },
+            },
+            "properties": {
+                "subject": self.subject,
+                "counts": self.counts(),
+                "metrics": self.metrics,
+            },
+            "results": results,
+        }
+
+    def to_sarif(self) -> str:
+        """A complete single-run SARIF 2.1.0 log, as JSON text."""
+        return json.dumps(
+            sarif_log([self.to_sarif_run()]), indent=2, sort_keys=True)
 
     def __len__(self) -> int:
         return len(self.findings)

@@ -94,19 +94,50 @@ class Classifier(Element):
                     break
         return shadowed
 
+    def dispatch_predicates(self):
+        """Per-port match conditions for the constprop pass: the exact
+        byte equalities of each pattern (``-`` is the catch-all)."""
+        preds = []
+        for terms in self.patterns:
+            if not terms:
+                preds.append(None)
+                continue
+            bytes_of = {}
+            for offset, value in terms:
+                for k, byte in enumerate(value):
+                    bytes_of[offset + k] = byte
+            preds.append({"data": bytes_of})
+        return preds
+
     def ir_program(self) -> Program:
         # Constant embedding compiles the pattern table into immediate
         # compares (what click-fastclassifier does), removing the loads.
+        return self._ir_for_ports(tuple(range(self.n_outputs)), full=True)
+
+    def specialized_ir(self, live_ports) -> Program:
+        """The classifier reduced to the ports constprop proved live:
+        dead arms contribute no compare work, no pattern load, and -- when
+        the dispatch collapses to one arm -- no branch at all."""
+        return self._ir_for_ports(tuple(live_ports), full=False)
+
+    def _ir_for_ports(self, ports, full: bool) -> Program:
+        # The data read keeps the *original* width (specialization may
+        # only drop ops, never resize them -- ProgramFacts deltas must be
+        # subsequences); it disappears entirely only when every live
+        # pattern is the catch-all, i.e. nothing is compared any more.
         ops = []
         width = 0
         for terms in self.patterns:
             for offset, value in terms:
                 width = max(width, offset + len(value))
-        ops.append(DataAccess(12, max(2, width - 12) if width > 12 else 2))
-        for i in range(self.n_outputs):
-            ops.append(self.param_read_op("pattern%d" % i))
-        ops.append(Compute(5 * self.n_outputs, note=FOLDABLE_NOTE))
-        ops.append(BranchHint(0.08, note="pattern-dispatch"))
+        if full or any(self.patterns[port] for port in ports):
+            ops.append(DataAccess(12, max(2, width - 12) if width > 12 else 2))
+        for port in ports:
+            ops.append(self.param_read_op("pattern%d" % port))
+        if ports:
+            ops.append(Compute(5 * len(ports), note=FOLDABLE_NOTE))
+        if full or len(ports) > 1:
+            ops.append(BranchHint(0.08, note="pattern-dispatch"))
         return Program(self.name, ops)
 
 
@@ -160,10 +191,29 @@ class IPClassifier(Element):
                     break
         return shadowed
 
+    def dispatch_predicates(self):
+        """Per-port conditions: equality on the IPv4 protocol byte, or the
+        catch-all for ``-``/``ip`` rules."""
+        return [
+            None if rule is None else {"data": {23: rule}}
+            for rule in self.rules
+        ]
+
     def ir_program(self) -> Program:
-        ops = [DataAccess(23, 1)]  # the IPv4 protocol byte
-        for i in range(self.n_outputs):
-            ops.append(self.param_read_op("rule%d" % i))
-        ops.append(Compute(6 * self.n_outputs, note=FOLDABLE_NOTE))
-        ops.append(BranchHint(0.06, note="proto-dispatch"))
+        return self._ir_for_ports(tuple(range(self.n_outputs)), full=True)
+
+    def specialized_ir(self, live_ports) -> Program:
+        """The dispatch reduced to the live ports (see Classifier)."""
+        return self._ir_for_ports(tuple(live_ports), full=False)
+
+    def _ir_for_ports(self, ports, full: bool) -> Program:
+        ops = []
+        if full or any(self.rules[port] is not None for port in ports):
+            ops.append(DataAccess(23, 1))  # the IPv4 protocol byte
+        for port in ports:
+            ops.append(self.param_read_op("rule%d" % port))
+        if ports:
+            ops.append(Compute(6 * len(ports), note=FOLDABLE_NOTE))
+        if full or len(ports) > 1:
+            ops.append(BranchHint(0.06, note="proto-dispatch"))
         return Program(self.name, ops)

@@ -47,6 +47,15 @@ class EtherRewrite(Element):
         ether.dst = self.param("dst")
         return 0
 
+    def const_writes(self):
+        """Both MAC fields leave as configured constants (dst at bytes
+        0-5, src at 6-11 -- wire order)."""
+        dst = int(self.param("dst")).to_bytes(6, "big")
+        src = int(self.param("src")).to_bytes(6, "big")
+        data = {i: b for i, b in enumerate(dst)}
+        data.update({6 + i: b for i, b in enumerate(src)})
+        return {"data": data}
+
     def ir_program(self) -> Program:
         return Program(
             self.name,

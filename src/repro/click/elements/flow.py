@@ -96,6 +96,11 @@ class PaintSwitch(Element):
         """The paint byte fully determines the route."""
         return pkt.anno_u8(ANNO_PAINT)
 
+    def dispatch_predicates(self):
+        """Port ``i`` fires exactly when ``paint_anno == i`` -- so an
+        upstream ``Paint(c)`` decides the whole dispatch statically."""
+        return [{"meta": {"paint_anno": i}} for i in range(self.n_outputs)]
+
     def ir_program(self) -> Program:
         return Program(
             self.name,
@@ -105,6 +110,12 @@ class PaintSwitch(Element):
                 BranchHint(0.10, note="color-dispatch"),
             ],
         )
+
+    def specialized_ir(self, live_ports) -> Program:
+        if len(live_ports) == 1:
+            # The route is a build-time constant: no anno load, no branch.
+            return Program(self.name, [Compute(1, note="constant-route")])
+        return self.ir_program()
 
 
 @register

@@ -43,6 +43,11 @@ class Paint(Element):
         pkt.set_anno_u8(ANNO_PAINT, self.param("color"))
         return 0
 
+    def const_writes(self):
+        """Every packet leaves with ``paint_anno`` pinned to the color --
+        the constant a downstream PaintSwitch dispatches on."""
+        return {"meta": {"paint_anno": int(self.param("color"))}}
+
     def ir_program(self) -> Program:
         return Program(
             self.name,

@@ -90,7 +90,9 @@ class IPRewriter(Element):
                 DataAccess(24, 2, write=True),  # IP checksum
                 DataAccess(50, 2, write=True),  # L4 checksum
                 RandomAccess(self.table.footprint_bytes(), count=2),  # 2 buckets
-                RandomAccess(self.table.footprint_bytes(), count=2),  # entry + stamp
+                # Entry + expiry stamp: the table mutation that makes the
+                # NAT flow-keyed stateful (the sharding lints key on it).
+                RandomAccess(self.table.footprint_bytes(), count=2, write=True),
                 Compute(96, note="tuple-hash"),
                 Compute(208, note="cuckoo-key-compares"),
                 Compute(130, note="rewrite+checksum"),

@@ -180,6 +180,14 @@ class LengthSwitch(Element):
         """Which side of the threshold the frame falls on."""
         return pkt.length <= self._threshold
 
+    def dispatch_predicates(self):
+        """Interval conditions on the ``length`` field: a proven upstream
+        range (an MTU clamp, a minimum frame size) can decide the split."""
+        return [
+            {"range": {"length": (0, self._threshold)}},
+            {"range": {"length": (self._threshold + 1, 1 << 30)}},
+        ]
+
     def ir_program(self) -> Program:
         return Program(
             self.name,
@@ -190,3 +198,8 @@ class LengthSwitch(Element):
                 BranchHint(0.5, note="length-split"),
             ],
         )
+
+    def specialized_ir(self, live_ports) -> Program:
+        if len(live_ports) == 1:
+            return Program(self.name, [Compute(1, note="constant-route")])
+        return self.ir_program()

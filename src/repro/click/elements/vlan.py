@@ -42,6 +42,15 @@ class VLANEncap(Element):
         self.encapsulated += 1
         return 0
 
+    def const_writes(self):
+        """With a fixed non-zero TCI the spliced tag bytes are constants
+        (TPID 0x8100 at 12-13, the TCI at 14-15).  A zero TCI falls back
+        to the per-packet annotation, so nothing is constant."""
+        tci = int(self.param("vlan_tci")) & 0xFFFF
+        if not tci:
+            return {}
+        return {"data": {12: 0x81, 13: 0x00, 14: tci >> 8, 15: tci & 0xFF}}
+
     def ir_program(self) -> Program:
         return Program(
             self.name,

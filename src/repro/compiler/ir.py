@@ -115,10 +115,18 @@ class BranchHint(Op):
 
 @dataclass(frozen=True)
 class RandomAccess(Op):
-    """Uniform random access into a large working set (WorkPackage)."""
+    """Uniform random access into a large working set (WorkPackage).
+
+    ``write`` distinguishes a mutable keyed table (a NAT's conntrack
+    entries: inserts and timestamp stamps) from a read-only structure (a
+    FIB trie, a static working set).  Lowering charges both identically;
+    the flag exists for the sharding-safety lints, which must tell
+    flow-keyed mutable state apart from shared read-only data.
+    """
 
     footprint: int
     count: int = 1
+    write: bool = False
 
 
 @dataclass(frozen=True)

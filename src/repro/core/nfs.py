@@ -75,6 +75,40 @@ def router(burst: int = 32, icmp_errors: bool = False) -> str:
            "nh": NEXT_HOP_MAC, "decttl": decttl, "ttl_error": ttl_error}
 
 
+def guarded_router(burst: int = 32) -> str:
+    """The constant-propagation showcase: a double-guarded IP router.
+
+    Deliberately written the way real configurations accrete: the front
+    classifier already split IP (port 0) from ARP (port 1), yet the ARP
+    branch passes through a *second* classifier before a shared
+    RadixIPLookup, and the routed side is painted and re-dispatched by a
+    PaintSwitch whose color was just pinned.  Path-sensitive analysis
+    proves ``arpguard``'s IP arm and ``sw``'s port 0 dead
+    (``constant-branch``) and drops the false ``paint_anno``
+    use-before-init a port-insensitive merge would report on ``sw``;
+    with ``facts`` enabled the build dead-code-eliminates both
+    dispatches.
+    """
+    return """
+    input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %(burst)d);
+    output :: ToDPDKDevice(PORT 0, BURST %(burst)d);
+    front :: Classifier(12/0800, 12/0806, -);
+    arpguard :: Classifier(12/0800, -);
+    rt :: RadixIPLookup(%(routes)s);
+    sw :: PaintSwitch(N 2);
+    input -> front;
+    front[0] -> CheckIPHeader(14) -> Paint(1) -> rt;
+    front[1] -> arpguard;
+    arpguard[0] -> rt;
+    arpguard[1] -> ARPResponder(192.168.1.1 %(dut)s) -> output;
+    front[2] -> Discard;
+    rt[0] -> DecIPTTL -> sw;
+    sw[0] -> Discard;
+    sw[1] -> EtherRewrite(SRC %(dut)s, DST %(nh)s) -> output;
+    """ % {"burst": burst, "routes": ", ".join(ROUTES), "dut": DUT_MAC,
+           "nh": NEXT_HOP_MAC}
+
+
 def ids_router(burst: int = 32, vlan_tci: int = 100) -> str:
     """A.3: IDS (TCP/UDP/ICMP header checks) + VLAN encap + the router."""
     return """

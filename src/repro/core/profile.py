@@ -62,6 +62,10 @@ class RunProfile:
     - ``rss``: the :class:`~repro.net.rss.RssConfig` driving flow
       sharding (key, indirection table size, mempool policy, per-queue
       backlog bound); defaults apply when ``None``.
+    - ``facts``: ``True`` to feed constant-propagation facts into the
+      build -- proven-dead classifier arms and decided switches are
+      dead-code-eliminated from every tier's programs (``REPRO_FACTS``
+      opts whole runs in when ``None``).
     """
 
     options: Optional[BuildOptions] = None
@@ -77,6 +81,7 @@ class RunProfile:
     tier: Union[None, str, ExecutionTier, TierPolicy] = None
     n_cores: int = 1
     rss: Optional[RssConfig] = None
+    facts: Union[None, bool] = None
 
     def with_overrides(self, **changes) -> "RunProfile":
         """A copy with the given fields replaced (sweep convenience)."""

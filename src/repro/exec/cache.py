@@ -213,11 +213,17 @@ def store_build(config: str, options, params, registry, exec_programs) -> None:
 _codegen_cache: Dict[tuple, Dict[str, object]] = {}
 
 
-def lookup_codegen(config: str, options, params):
-    """Cached ``{element: CompiledProgram}`` map for a build, if any."""
+def lookup_codegen(config: str, options, params, facts=None):
+    """Cached ``{element: CompiledProgram}`` map for a build, if any.
+
+    ``facts`` is the build's ``{element: ProgramFacts}`` map (or ``None``)
+    -- facts-specialized kernels charge differently, so they key
+    separately; an empty map keys identically to ``None``.
+    """
     if not enabled("codegen"):
         return None
-    compiled = _codegen_cache.get((config, options, params_signature(params)))
+    key = (config, options, params_signature(params), _facts_key(facts))
+    compiled = _codegen_cache.get(key)
     if compiled is None:
         _CODEGEN_MISSES.add(1)
         return None
@@ -225,10 +231,17 @@ def lookup_codegen(config: str, options, params):
     return compiled
 
 
-def store_codegen(config: str, options, params, compiled) -> None:
+def store_codegen(config: str, options, params, compiled, facts=None) -> None:
     if not enabled("codegen"):
         return
-    _codegen_cache[(config, options, params_signature(params))] = compiled
+    key = (config, options, params_signature(params), _facts_key(facts))
+    _codegen_cache[key] = compiled
+
+
+def _facts_key(facts):
+    from repro.compiler.facts import facts_signature
+
+    return facts_signature(facts)
 
 
 # -- point cache ---------------------------------------------------------------

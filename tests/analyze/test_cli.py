@@ -6,7 +6,11 @@ import sys
 
 import pytest
 
-from repro.analyze.cli import main, shipped_configs
+from repro.analyze.cli import (
+    main,
+    shipped_configs,
+    shipped_runtime_pairings,
+)
 from repro.core import nfs
 
 pytestmark = pytest.mark.analyze
@@ -14,7 +18,20 @@ pytestmark = pytest.mark.analyze
 
 def test_shipped_catalog_covers_the_evaluation_nfs():
     names = set(shipped_configs())
-    assert {"forwarder", "router", "ids-router", "nat-router"} <= names
+    assert {"forwarder", "router", "ids-router", "nat-router",
+            "guarded-router"} <= names
+
+
+def test_shipped_catalog_covers_sharded_and_steered_profiles():
+    names = set(shipped_configs())
+    assert {"forwarder-sharded", "nat-sharded",
+            "forwarder-steered", "nat-steered"} <= names
+    pairings = shipped_runtime_pairings()
+    assert pairings["nat-sharded"].n_cores == 4
+    assert pairings["forwarder-steered"].rss.steering.dispatch
+    # nat-steered runs steering without dispatch: it must warn about
+    # migration, never error -- keeping --shipped green.
+    assert not pairings["nat-steered"].rss.steering.dispatch
 
 
 def test_all_shipped_configs_are_error_free(capsys):
@@ -77,6 +94,67 @@ def test_unknown_name_exits_with_help():
 def test_unknown_options_variant_is_rejected():
     with pytest.raises(SystemExit):
         main(["router", "--options", "warp-speed"])
+
+
+def test_nat_steered_warns_but_stays_green(capsys):
+    assert main(["nat-steered"]) == 0
+    out = capsys.readouterr().out
+    assert "shard-stateful-migration" in out
+    assert "shard-stateful-dispatch" not in out
+
+
+def test_dispatch_override_fails_the_stateful_nat(capsys):
+    assert main(["nat-router", "--cores", "4", "--steering",
+                 "--dispatch"]) == 1
+    assert "shard-stateful-dispatch" in capsys.readouterr().out
+
+
+def test_steering_without_dispatch_stays_green(capsys):
+    assert main(["nat-router", "--cores", "4", "--steering"]) == 0
+    assert "shard-stateful-migration" in capsys.readouterr().out
+
+
+def test_cores_alone_is_safe_for_flow_local_state(capsys):
+    assert main(["nat-router", "--cores", "4"]) == 0
+    assert "shard-" not in capsys.readouterr().out
+
+
+def test_guarded_router_reports_constant_branches(capsys):
+    assert main(["guarded-router"]) == 0
+    out = capsys.readouterr().out
+    assert "constant-branch" in out
+    assert "redundant-check" in out
+    assert "meta-use-before-init" not in out
+
+
+def test_sarif_output_is_one_combined_log(capsys):
+    assert main(["guarded-router", "nat-steered", "--sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-2.1.0.json")
+    assert len(log["runs"]) == 2
+    subjects = [run["properties"]["subject"] for run in log["runs"]]
+    assert subjects == ["guarded-router", "nat-steered"]
+    run = log["runs"][0]
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "constant-branch" in rules
+    result = run["results"][0]
+    assert {"ruleId", "level", "message", "locations"} <= set(result)
+
+
+def test_sarif_exit_code_still_gates(capsys):
+    code = main(["nat-router", "--cores", "4", "--steering",
+                 "--dispatch", "--sarif"])
+    assert code == 1
+    log = json.loads(capsys.readouterr().out)
+    levels = [r["level"] for r in log["runs"][0]["results"]]
+    assert "error" in levels
+
+
+def test_all_shipped_configs_stay_green_under_their_pairings():
+    # The analyze-strict CI job: every shipped config, its paired
+    # runtime profile, zero errors.
+    assert main(["--shipped"]) == 0
 
 
 def test_module_entry_point_runs():

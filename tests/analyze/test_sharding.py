@@ -1,0 +1,144 @@
+"""Sharding-safety lints: state classification and the three rules."""
+
+import pytest
+
+from repro.analyze import (
+    analyze_config,
+    classify_element_state,
+    lint_sharding,
+    sharding_stats,
+)
+from repro.analyze.sharding import (
+    CROSS_FLOW,
+    FLOW_LOCAL,
+    READ_ONLY,
+    STATELESS,
+)
+from repro.click.graph import ProcessingGraph
+from repro.core.nfs import forwarder, nat_router, router
+from repro.core.options import BuildOptions
+from repro.core.profile import RunProfile
+from repro.net.rss import RssConfig
+from repro.net.steering import SteeringPolicy
+
+pytestmark = pytest.mark.analyze
+
+
+def _classify(config, class_name):
+    graph = ProcessingGraph.from_text(config)
+    element = next(
+        e for e in graph.all_elements() if e.class_name == class_name)
+    return classify_element_state(element.ir_program())
+
+
+IO = """
+    input :: FromDPDKDevice(PORT 0);
+    output :: ToDPDKDevice(PORT 0);
+    input -> %s output;
+"""
+
+
+# -- classification -----------------------------------------------------------
+
+
+def test_rewriters_and_io_are_stateless():
+    assert _classify(IO % "EtherMirror ->", "EtherMirror") == STATELESS
+    assert _classify(forwarder(), "FromDPDKDevice") == STATELESS
+
+
+def test_fib_lookup_is_read_only():
+    graph = ProcessingGraph.from_text(router())
+    rt = {e.name: e for e in graph.all_elements()}["rt"]
+    assert classify_element_state(rt.ir_program()) == READ_ONLY
+
+
+def test_nat_conntrack_is_flow_local():
+    graph = ProcessingGraph.from_text(nat_router())
+    nat = next(e for e in graph.all_elements()
+               if e.class_name == "IPRewriter")
+    assert classify_element_state(nat.ir_program()) == FLOW_LOCAL
+
+
+def test_counter_and_queue_are_cross_flow():
+    assert _classify(IO % "Counter ->", "Counter") == CROSS_FLOW
+    assert _classify(IO % "Queue(64) ->", "Queue") == CROSS_FLOW
+
+
+def test_stats_count_the_nat_router_classes():
+    stats = sharding_stats(ProcessingGraph.from_text(nat_router()))
+    assert stats["sharding.flow_local"] == 1.0
+    assert stats["sharding.read_only"] >= 1.0
+
+
+# -- the three rules ----------------------------------------------------------
+
+
+def _nat_findings(n_cores, rss=None):
+    graph = ProcessingGraph.from_text(nat_router())
+    return lint_sharding(graph, n_cores=n_cores, rss=rss)
+
+
+def _steering(dispatch):
+    return RssConfig(steering=SteeringPolicy(dispatch=dispatch))
+
+
+def test_single_core_is_always_silent():
+    assert _nat_findings(1) == []
+    assert _nat_findings(1, rss=_steering(dispatch=True)) == []
+
+
+def test_flow_local_under_plain_rss_is_safe():
+    # RSS hash-partitioning keeps each flow on one replica: a NAT's
+    # conntrack table shards cleanly.  No steering, no finding.
+    assert _nat_findings(4) == []
+
+
+def test_stateful_dispatch_is_an_error():
+    findings = _nat_findings(4, rss=_steering(dispatch=True))
+    rules = [(f.rule, f.severity) for f in findings]
+    assert ("shard-stateful-dispatch", "error") in rules
+
+
+def test_stateful_migration_without_dispatch_only_warns():
+    findings = _nat_findings(4, rss=_steering(dispatch=False))
+    rules = [(f.rule, f.severity) for f in findings]
+    assert ("shard-stateful-migration", "warning") in rules
+    assert "shard-stateful-dispatch" not in [f.rule for f in findings]
+
+
+def test_cross_flow_state_warns_when_replicated():
+    graph = ProcessingGraph.from_text(IO % "Counter ->")
+    findings = lint_sharding(graph, n_cores=4)
+    assert [(f.rule, f.severity) for f in findings] == [
+        ("shard-shared-state", "warning")
+    ]
+    assert "4 cores" in findings[0].message
+    assert lint_sharding(graph, n_cores=1) == []
+
+
+# -- end to end through the analyzer API --------------------------------------
+
+
+def test_profile_gates_the_sharding_lints():
+    options = BuildOptions.packetmill()
+    unsharded = analyze_config(nat_router(), options, subject="nat")
+    assert not [f for f in unsharded.findings if f.rule.startswith("shard-")]
+
+    sprayed = analyze_config(
+        nat_router(), options, subject="nat",
+        profile=RunProfile(n_cores=4, rss=_steering(dispatch=True)))
+    assert not sprayed.ok
+    assert "shard-stateful-dispatch" in [f.rule for f in sprayed.errors]
+
+    steered = analyze_config(
+        nat_router(), options, subject="nat",
+        profile=RunProfile(n_cores=4, rss=_steering(dispatch=False)))
+    assert steered.ok
+    assert "shard-stateful-migration" in [f.rule for f in steered.findings]
+
+
+def test_sharding_metrics_reach_the_report():
+    report = analyze_config(
+        nat_router(), BuildOptions.packetmill(), subject="nat",
+        profile=RunProfile(n_cores=4))
+    assert report.metrics["sharding.flow_local"] == 1.0
